@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunScenario(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithExtraBlocks(t *testing.T) {
+	if err := run([]string{"-blocks", "6"}); err != nil {
+		t.Fatalf("run -blocks: %v", err)
+	}
+}
+
+func TestRunCluster(t *testing.T) {
+	if err := run([]string{"-cluster", "3"}); err != nil {
+		t.Fatalf("run -cluster: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-wat"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Industry 4.0: product life-cycle tracking along a supply chain (the
+// application domain the paper's introduction and summary motivate).
+//
+// Parts and assemblies are recorded on-chain with semantic dependencies
+// (an assembly depends on its parts, §IV-D.2), quality measurements carry
+// best-before retention deadlines (§IV-D.4), and a decommissioned
+// vehicle's records are erased with co-signatures from every dependent
+// party ("After a vehicle is taken out of service, the blockchain as
+// database is cleaned up", §VI).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/seldel/seldel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg := seldel.NewRegistry()
+	keys := make(map[string]*seldel.KeyPair)
+	for _, name := range []string{"steelworks", "assembly", "dealer"} {
+		kp := seldel.DeterministicKey(name, "industry40")
+		if err := reg.RegisterKey(kp, seldel.RoleUser); err != nil {
+			return err
+		}
+		keys[name] = kp
+	}
+	chain, err := seldel.NewChain(seldel.Config{
+		SequenceLength:      4,
+		MaxBlocks:           16,
+		Shrink:              seldel.ShrinkMinimal,
+		RedundancyReference: true, // Fig. 9 hardening for long-lived records
+		Registry:            reg,
+		Clock:               seldel.NewLogicalClock(0),
+	})
+	if err != nil {
+		return err
+	}
+	commit := func(entries ...*seldel.Entry) (seldel.Ref, error) {
+		blocks, err := chain.Commit(entries)
+		if err != nil {
+			return seldel.Ref{}, err
+		}
+		return seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}, nil
+	}
+
+	// 1. The steelworks records a chassis part.
+	chassis, err := commit(seldel.NewData("steelworks",
+		[]byte(`part chassis serial=CH-001 alloy=S355`)).Sign(keys["steelworks"]))
+	if err != nil {
+		return err
+	}
+	fmt.Println("chassis recorded at", chassis)
+
+	// 2. A quality measurement with a best-before deadline: it expires
+	// automatically once the chain passes block 40 — no request needed.
+	if _, err := commit(seldel.NewTemporary("steelworks",
+		[]byte(`qa chassis=CH-001 tensile=510MPa`), 0, 40).Sign(keys["steelworks"])); err != nil {
+		return err
+	}
+
+	// 3. The assembly plant builds a vehicle FROM the chassis: the
+	// record depends on the part record (semantic cohesion, §IV-D.2).
+	vehicleEntry := seldel.NewData("assembly",
+		[]byte(`vehicle vin=WDB123 built-from=CH-001`)).
+		WithDependsOn(chassis).
+		Sign(keys["assembly"])
+	vehicle, err := commit(vehicleEntry)
+	if err != nil {
+		return err
+	}
+	fmt.Println("vehicle recorded at", vehicle, "(depends on", chassis, ")")
+
+	// 4. The dealer logs mileage against the vehicle.
+	mileage, err := commit(seldel.NewData("dealer",
+		[]byte(`odometer vin=WDB123 km=125000`)).
+		WithDependsOn(vehicle).
+		Sign(keys["dealer"]))
+	if err != nil {
+		return err
+	}
+	fmt.Println("mileage recorded at", mileage)
+
+	// 5. The steelworks alone cannot erase the chassis: the vehicle
+	// still depends on it.
+	solo := seldel.NewDeletion("steelworks", chassis).Sign(keys["steelworks"])
+	fmt.Printf("\nsteelworks erasing the chassis alone: %v\n", chain.CheckDeletionRequest(solo))
+
+	// 6. End of life: the vehicle is decommissioned. Every dependent
+	// party co-signs the erasure chain bottom-up: first the mileage
+	// (dealer's own record), then the vehicle (assembly, with the
+	// dealer's co-signature), then the chassis (steelworks, with the
+	// assembly's co-signature).
+	if _, err := commit(seldel.NewDeletion("dealer", mileage).Sign(keys["dealer"])); err != nil {
+		return err
+	}
+	delVehicle := seldel.NewDeletion("assembly", vehicle).
+		AddCoSignature(keys["dealer"]).
+		Sign(keys["assembly"])
+	if _, err := commit(delVehicle); err != nil {
+		return err
+	}
+	delChassis := seldel.NewDeletion("steelworks", chassis).
+		AddCoSignature(keys["assembly"]).
+		Sign(keys["steelworks"])
+	if err := chain.CheckDeletionRequest(delChassis); err != nil {
+		return fmt.Errorf("co-signed chassis erasure rejected: %w", err)
+	}
+	if _, err := commit(delChassis); err != nil {
+		return err
+	}
+	fmt.Println("decommission requests accepted (mileage, vehicle, chassis)")
+
+	// 7. Drive the chain: retention cycles erase everything marked, and
+	// the expired QA measurement never survives a merge.
+	for len(chain.Marks()) > 0 {
+		if _, err := chain.AppendEmpty(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 30; i++ { // push well past the QA deadline
+		if _, err := chain.AppendEmpty(); err != nil {
+			return err
+		}
+	}
+	for _, ref := range []seldel.Ref{chassis, vehicle, mileage} {
+		if _, _, ok := chain.Lookup(ref); ok {
+			return fmt.Errorf("record %s survived decommissioning", ref)
+		}
+	}
+	st := chain.Stats()
+	fmt.Printf("\nafter clean-up: forgotten=%d expired=%d live_blocks=%d marker=%d\n",
+		st.ForgottenEntries, st.ExpiredEntries, st.LiveBlocks, chain.Marker())
+	fmt.Println("\nfinal chain (bounded, self-cleaned):")
+	return chain.Render(os.Stdout, nil)
+}

@@ -1,0 +1,204 @@
+// Package attack quantifies the 51%-attack discussion of §V-B.1.
+//
+// Without summary-block redundancy, rewriting the newest summary block
+// requires out-mining the honest network for a single block. With the
+// Fig. 9 redundancy reference, every entry older than lβ/2 has at least
+// lβ/2 confirmations, so the attacker "has to run the attack for at
+// least lβ/2 number of blocks". This package provides the analytic
+// catch-up probability (Nakamoto's race) and a Monte-Carlo simulator of
+// the private-mining race, so the experiments (E5) can compare required
+// rewrite depths.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Errors returned by the simulator.
+var ErrBadConfig = errors.New("attack: invalid configuration")
+
+// CatchUpProbability is the classic gambler's-ruin bound from the
+// Bitcoin paper: the probability that an attacker with mining-power
+// fraction q ever catches up from z blocks behind. For q >= 0.5 the
+// attacker eventually always succeeds.
+func CatchUpProbability(q float64, z int) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 0.5 {
+		return 1
+	}
+	if z <= 0 {
+		return 1
+	}
+	return math.Pow(q/(1-q), float64(z))
+}
+
+// NakamotoSuccessProbability is the full formula from the Bitcoin paper
+// (section 11): the probability that an attacker with power q rewrites a
+// transaction buried under z confirmations, accounting for the Poisson-
+// distributed progress the attacker makes while the honest chain grows
+// by z blocks.
+func NakamotoSuccessProbability(q float64, z int) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 0.5 {
+		return 1
+	}
+	if z <= 0 {
+		return 1
+	}
+	p := 1 - q
+	lambda := float64(z) * (q / p)
+	sum := 1.0
+	poisson := math.Exp(-lambda)
+	for k := 0; k <= z; k++ {
+		if k > 0 {
+			poisson *= lambda / float64(k)
+		}
+		sum -= poisson * (1 - math.Pow(q/p, float64(z-k)))
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// RequiredRewriteDepth returns how many blocks an attacker must rewrite
+// to displace the oldest carried entry: one block on a conventional
+// chain, at least lβ/2 with the Fig. 9 redundancy reference.
+func RequiredRewriteDepth(liveLen int, redundancyRef bool) int {
+	if !redundancyRef || liveLen < 2 {
+		return 1
+	}
+	return liveLen / 2
+}
+
+// RaceConfig parameterizes the Monte-Carlo private-mining race.
+type RaceConfig struct {
+	// AttackerPower is the attacker's fraction q of total mining power.
+	AttackerPower float64
+	// Deficit is how many blocks behind the attacker starts (the rewrite
+	// depth z).
+	Deficit int
+	// Trials is the number of independent races.
+	Trials int
+	// MaxSteps aborts a race as failed after this many blocks (bounds
+	// runtime; races the attacker would win almost surely finish long
+	// before a sensible cap).
+	MaxSteps int
+	// BailDeficit abandons a race as lost once the attacker falls this
+	// many blocks behind (the win probability from there is negligible).
+	// Defaults to 128.
+	BailDeficit int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// RaceResult aggregates the Monte-Carlo outcome.
+type RaceResult struct {
+	// SuccessRate is the fraction of races the attacker won.
+	SuccessRate float64
+	// MeanStepsToWin is the average number of total blocks mined in the
+	// winning races (0 when none were won).
+	MeanStepsToWin float64
+	Trials         int
+}
+
+// SimulateRace runs the private-mining race: each new block belongs to
+// the attacker with probability q. The attacker starts Deficit blocks
+// behind and wins upon catching up (reaching a tie, Nakamoto's "ever
+// catch up from z blocks behind" convention, so results are directly
+// comparable to CatchUpProbability).
+func SimulateRace(cfg RaceConfig) (RaceResult, error) {
+	if cfg.AttackerPower < 0 || cfg.AttackerPower >= 1 {
+		return RaceResult{}, fmt.Errorf("%w: power %f", ErrBadConfig, cfg.AttackerPower)
+	}
+	if cfg.Deficit < 0 || cfg.Trials <= 0 {
+		return RaceResult{}, fmt.Errorf("%w: deficit %d trials %d", ErrBadConfig, cfg.Deficit, cfg.Trials)
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	if cfg.BailDeficit <= 0 {
+		cfg.BailDeficit = 128
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation, not crypto
+	wins := 0
+	var stepsInWins uint64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// lead = attacker chain length - honest chain length.
+		lead := -cfg.Deficit
+		bail := -cfg.Deficit - cfg.BailDeficit
+		steps := 0
+		for lead < 0 && lead > bail && steps < cfg.MaxSteps {
+			if rng.Float64() < cfg.AttackerPower {
+				lead++
+			} else {
+				lead--
+			}
+			steps++
+		}
+		if lead >= 0 {
+			wins++
+			stepsInWins += uint64(steps)
+		}
+	}
+	res := RaceResult{
+		SuccessRate: float64(wins) / float64(cfg.Trials),
+		Trials:      cfg.Trials,
+	}
+	if wins > 0 {
+		res.MeanStepsToWin = float64(stepsInWins) / float64(wins)
+	}
+	return res, nil
+}
+
+// DepthComparison is one row of the E5 table: attacker power q against
+// the success probability at depth 1 (plain chain) and depth lβ/2
+// (summary-block redundancy).
+type DepthComparison struct {
+	Power           float64
+	PlainAnalytic   float64 // depth 1, gambler's ruin
+	PlainSimulated  float64
+	GuardedAnalytic float64 // depth lβ/2
+	GuardedSim      float64
+	GuardedDepth    int
+}
+
+// CompareDepths computes the E5 table for the given attacker powers and
+// live chain length.
+func CompareDepths(powers []float64, liveLen, trials int, seed int64) ([]DepthComparison, error) {
+	guarded := RequiredRewriteDepth(liveLen, true)
+	out := make([]DepthComparison, 0, len(powers))
+	for i, q := range powers {
+		plainSim, err := SimulateRace(RaceConfig{
+			AttackerPower: q, Deficit: 1, Trials: trials, Seed: seed + int64(i)*2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		guardSim, err := SimulateRace(RaceConfig{
+			AttackerPower: q, Deficit: guarded, Trials: trials, Seed: seed + int64(i)*2 + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DepthComparison{
+			Power:           q,
+			PlainAnalytic:   CatchUpProbability(q, 1),
+			PlainSimulated:  plainSim.SuccessRate,
+			GuardedAnalytic: CatchUpProbability(q, guarded),
+			GuardedSim:      guardSim.SuccessRate,
+			GuardedDepth:    guarded,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatchUpProbabilityBounds(t *testing.T) {
+	tests := []struct {
+		q    float64
+		z    int
+		want float64
+	}{
+		{0, 5, 0},
+		{0.6, 5, 1}, // majority attacker always wins
+		{0.5, 5, 1}, // exactly half: recurrent walk, eventual success
+		{0.3, 0, 1}, // nothing to catch up
+		{0.25, 1, 1.0 / 3.0},
+	}
+	for _, tt := range tests {
+		got := CatchUpProbability(tt.q, tt.z)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CatchUpProbability(%v,%d) = %v, want %v", tt.q, tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestCatchUpProbabilityDecaysWithDepth(t *testing.T) {
+	q := 0.3
+	prev := 1.1
+	for z := 1; z <= 32; z *= 2 {
+		p := CatchUpProbability(q, z)
+		if p >= prev {
+			t.Errorf("probability not decreasing at depth %d: %v >= %v", z, p, prev)
+		}
+		prev = p
+	}
+	// The Fig. 9 claim: rewriting lβ/2 blocks is exponentially harder
+	// than rewriting one.
+	if ratio := CatchUpProbability(q, 1) / CatchUpProbability(q, 12); ratio < 1e3 {
+		t.Errorf("depth-12 protection factor only %v", ratio)
+	}
+}
+
+func TestNakamotoFormula(t *testing.T) {
+	// Spot values from the Bitcoin paper (section 11, q = 0.1):
+	// z=0 → 1.0; z=5 → ~0.0009137; z=10 → ~0.0000012.
+	if got := NakamotoSuccessProbability(0.1, 0); got != 1 {
+		t.Errorf("z=0: %v", got)
+	}
+	if got := NakamotoSuccessProbability(0.1, 5); math.Abs(got-0.0009137) > 1e-4 {
+		t.Errorf("q=0.1 z=5: %v, want ~0.0009137", got)
+	}
+	if got := NakamotoSuccessProbability(0.3, 10); math.Abs(got-0.0416605) > 1e-3 {
+		t.Errorf("q=0.3 z=10: %v, want ~0.0417", got)
+	}
+	if got := NakamotoSuccessProbability(0.55, 3); got != 1 {
+		t.Errorf("majority attacker: %v, want 1", got)
+	}
+}
+
+func TestRequiredRewriteDepth(t *testing.T) {
+	if RequiredRewriteDepth(24, false) != 1 {
+		t.Error("plain chain depth != 1")
+	}
+	if got := RequiredRewriteDepth(24, true); got != 12 {
+		t.Errorf("guarded depth = %d, want 12", got)
+	}
+	if RequiredRewriteDepth(1, true) != 1 {
+		t.Error("tiny chain should need depth 1")
+	}
+}
+
+func TestSimulateRaceMatchesAnalytic(t *testing.T) {
+	// Monte Carlo within a few percent of the gambler's-ruin analytic.
+	for _, tt := range []struct {
+		q float64
+		z int
+	}{{0.2, 1}, {0.3, 2}, {0.4, 3}} {
+		res, err := SimulateRace(RaceConfig{
+			AttackerPower: tt.q, Deficit: tt.z, Trials: 20000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CatchUpProbability(tt.q, tt.z)
+		if math.Abs(res.SuccessRate-want) > 0.02 {
+			t.Errorf("q=%v z=%d: simulated %v, analytic %v", tt.q, tt.z, res.SuccessRate, want)
+		}
+	}
+}
+
+func TestSimulateRaceMajorityAlwaysWins(t *testing.T) {
+	res, err := SimulateRace(RaceConfig{AttackerPower: 0.7, Deficit: 5, Trials: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate < 0.999 {
+		t.Errorf("majority attacker success rate %v", res.SuccessRate)
+	}
+	if res.MeanStepsToWin <= 0 {
+		t.Error("no steps recorded for wins")
+	}
+}
+
+func TestSimulateRaceDeterministic(t *testing.T) {
+	cfg := RaceConfig{AttackerPower: 0.35, Deficit: 4, Trials: 5000, Seed: 99}
+	a, err := SimulateRace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateRace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestSimulateRaceValidation(t *testing.T) {
+	cases := []RaceConfig{
+		{AttackerPower: -0.1, Deficit: 1, Trials: 10},
+		{AttackerPower: 1.0, Deficit: 1, Trials: 10},
+		{AttackerPower: 0.3, Deficit: -1, Trials: 10},
+		{AttackerPower: 0.3, Deficit: 1, Trials: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := SimulateRace(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestCompareDepths(t *testing.T) {
+	rows, err := CompareDepths([]float64{0.1, 0.3}, 24, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GuardedDepth != 12 {
+			t.Errorf("guarded depth = %d", r.GuardedDepth)
+		}
+		// Redundancy must reduce success probability dramatically.
+		if r.GuardedAnalytic >= r.PlainAnalytic {
+			t.Errorf("q=%v: guarded %v >= plain %v", r.Power, r.GuardedAnalytic, r.PlainAnalytic)
+		}
+		if r.GuardedSim > r.PlainSimulated {
+			t.Errorf("q=%v: simulated guarded %v > plain %v", r.Power, r.GuardedSim, r.PlainSimulated)
+		}
+	}
+}
+
+// Property: the analytic probability is monotone in q for fixed depth.
+func TestQuickMonotoneInPower(t *testing.T) {
+	f := func(a, b uint8) bool {
+		qa := float64(a%50) / 100
+		qb := float64(b%50) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return CatchUpProbability(qa, 6) <= CatchUpProbability(qb, 6)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+func setup(t *testing.T) (*chain.Chain, *Logger, map[string]*identity.KeyPair) {
+	t.Helper()
+	reg := identity.NewRegistry()
+	keys := make(map[string]*identity.KeyPair)
+	for _, name := range []string{"ALPHA", "BRAVO", "CHARLIE"} {
+		kp := identity.Deterministic(name, "audit-test")
+		if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+			t.Fatal(err)
+		}
+		keys[name] = kp
+	}
+	c, err := chain.New(chain.Config{
+		SequenceLength: 3,
+		MaxSequences:   2,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger, err := NewLogger(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, logger, keys
+}
+
+func TestLogAndDecode(t *testing.T) {
+	c, logger, keys := setup(t)
+	ev := LoginEvent{User: "ALPHA", Terminal: "tty1", Success: true, At: 42}
+	ref, err := logger.Log(keys["ALPHA"], ev)
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	entry, _, ok := c.Lookup(ref)
+	if !ok {
+		t.Fatal("logged entry not found")
+	}
+	back, err := Decode(entry)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back != ev {
+		t.Errorf("decoded %+v, want %+v", back, ev)
+	}
+	if back.String() != "login ALPHA tty1 ok" {
+		t.Errorf("String = %q", back.String())
+	}
+}
+
+func TestEventStringFail(t *testing.T) {
+	ev := LoginEvent{User: "BRAVO", Terminal: "tty9", Success: false}
+	if ev.String() != "login BRAVO tty9 fail" {
+		t.Errorf("String = %q", ev.String())
+	}
+}
+
+func TestSchemaValidationRejectsOversizedUser(t *testing.T) {
+	_, logger, keys := setup(t)
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'x'
+	}
+	_, err := logger.EntryFor(keys["ALPHA"], LoginEvent{User: string(long), Terminal: "tty"})
+	if !errors.Is(err, ErrSchema) {
+		t.Errorf("err = %v, want ErrSchema", err)
+	}
+}
+
+func TestVerifyAuthenticity(t *testing.T) {
+	c, logger, keys := setup(t)
+	ref, err := logger.Log(keys["BRAVO"], LoginEvent{User: "BRAVO", Terminal: "tty1", Success: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := logger.VerifyAuthenticity(ref); err != nil {
+		t.Errorf("VerifyAuthenticity: %v", err)
+	}
+	if err := logger.VerifyAuthenticity(block.Ref{Block: 99}); err == nil {
+		t.Error("missing ref verified")
+	}
+	_ = c
+}
+
+func TestQueryFilters(t *testing.T) {
+	_, logger, keys := setup(t)
+	events := []LoginEvent{
+		{User: "ALPHA", Terminal: "tty1", Success: true},
+		{User: "ALPHA", Terminal: "tty2", Success: false},
+		{User: "BRAVO", Terminal: "tty1", Success: false},
+		{User: "CHARLIE", Terminal: "tty3", Success: true},
+	}
+	for _, ev := range events {
+		if _, err := logger.Log(keys[ev.User], ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := logger.Query(QueryOptions{})
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all = %d, %v", len(all), err)
+	}
+	alpha, err := logger.Query(QueryOptions{User: "ALPHA"})
+	if err != nil || len(alpha) != 2 {
+		t.Fatalf("alpha = %d, %v", len(alpha), err)
+	}
+	failed, err := logger.Query(QueryOptions{FailedOnly: true})
+	if err != nil || len(failed) != 2 {
+		t.Fatalf("failed = %d, %v", len(failed), err)
+	}
+	tty1, err := logger.Query(QueryOptions{Terminal: "tty1"})
+	if err != nil || len(tty1) != 2 {
+		t.Fatalf("tty1 = %d, %v", len(tty1), err)
+	}
+	both, err := logger.Query(QueryOptions{User: "ALPHA", FailedOnly: true})
+	if err != nil || len(both) != 1 {
+		t.Fatalf("both = %d, %v", len(both), err)
+	}
+}
+
+func TestQueryCoversCarriedEntriesAndSkipsMarked(t *testing.T) {
+	c, logger, keys := setup(t)
+	ref, err := logger.Log(keys["ALPHA"], LoginEvent{User: "ALPHA", Terminal: "tty1", Success: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bravoRef, err := logger.Log(keys["BRAVO"], LoginEvent{User: "BRAVO", Terminal: "tty1", Success: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive into a merge so both logins are carried.
+	for i := 0; i < 6; i++ {
+		if _, err := c.AppendEmpty(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, loc, ok := c.Lookup(ref); !ok || !loc.Carried {
+		t.Fatalf("precondition: entry not carried (ok=%v loc=%+v)", ok, loc)
+	}
+	hits, err := logger.Query(QueryOptions{})
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("hits = %d, %v", len(hits), err)
+	}
+	if !hits[0].Carried {
+		t.Error("carried flag not set on summary hit")
+	}
+	// Mark BRAVO's entry: it must vanish from queries immediately.
+	del := block.NewDeletion("BRAVO", bravoRef).Sign(keys["BRAVO"])
+	if _, err := c.Commit([]*block.Entry{del}); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = logger.Query(QueryOptions{})
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits after mark = %d, %v", len(hits), err)
+	}
+	if hits[0].Event.User != "ALPHA" {
+		t.Errorf("surviving hit = %+v", hits[0])
+	}
+}
+
+func TestTemporaryEntryExpires(t *testing.T) {
+	c, logger, keys := setup(t)
+	entry, err := logger.TemporaryEntryFor(keys["ALPHA"],
+		LoginEvent{User: "ALPHA", Terminal: "tty1", Success: true}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := c.Commit([]*block.Entry{entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := block.Ref{Block: blocks[0].Header.Number, Entry: 0}
+	for i := 0; i < 10; i++ {
+		if _, err := c.AppendEmpty(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := c.Lookup(ref); ok {
+		t.Error("temporary login survived its deadline")
+	}
+}
+
+func TestDecodeRejectsNonLogin(t *testing.T) {
+	kp := identity.Deterministic("x", "audit-test")
+	cases := []*block.Entry{
+		block.NewDeletion("x", block.Ref{Block: 1}).Sign(kp),
+		block.NewData("x", []byte("not a record")).Sign(kp),
+	}
+	for i, e := range cases {
+		if _, err := Decode(e); !errors.Is(err, ErrNotLogin) {
+			t.Errorf("case %d: err = %v, want ErrNotLogin", i, err)
+		}
+	}
+}
+
+func TestLoggerSurvivesRetentionCycles(t *testing.T) {
+	c, logger, keys := setup(t)
+	var refs []block.Ref
+	for i := 0; i < 12; i++ {
+		ref, err := logger.Log(keys["ALPHA"], LoginEvent{
+			User: "ALPHA", Terminal: fmt.Sprintf("tty%d", i), Success: true, At: uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	// All logins must still be queryable (durable entries survive merges).
+	hits, err := logger.Query(QueryOptions{User: "ALPHA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(refs) {
+		t.Errorf("hits = %d, want %d", len(hits), len(refs))
+	}
+	if err := c.VerifyIntegrity(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,725 @@
+// Package chain implements the selective-deletion blockchain of the
+// paper: a hash chain partitioned into sequences ω by periodically
+// inserted summary blocks Σ (§IV-B), a shifting Genesis marker m (§IV-C),
+// bounded live length per Eq. 1, deletion on request (§IV-D), and
+// temporary entries (§IV-D.4).
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/deletion"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// ShrinkPolicy selects how many sequences are merged into a new summary
+// block once the configured limit is exceeded.
+type ShrinkPolicy uint8
+
+const (
+	// ShrinkMinimal cuts the oldest sequence, repeating until the limit
+	// holds again — the literal iteration of Eq. 1.
+	ShrinkMinimal ShrinkPolicy = iota + 1
+	// ShrinkAllButNewest merges every complete sequence except the newest
+	// one (the round-robin picture of Fig. 3; reproduces the prototype
+	// behaviour of Figs. 6–8, where two sequences were merged at once).
+	ShrinkAllButNewest
+)
+
+// Valid reports whether p is a defined policy.
+func (p ShrinkPolicy) Valid() bool {
+	return p == ShrinkMinimal || p == ShrinkAllButNewest
+}
+
+// Config parameterizes a Chain.
+type Config struct {
+	// SequenceLength is l, the distance δl between summary blocks: a
+	// summary block occupies every block number α with (α+1) mod l == 0.
+	// Must be at least 2 (one data block + the summary).
+	SequenceLength int
+	// MaxBlocks is lmax measured in live blocks; 0 disables the limit.
+	MaxBlocks int
+	// MaxSequences caps the number of complete live sequences instead
+	// ("another property can be used, for example the maximum number of
+	// sequences", §IV-C); 0 disables the limit.
+	MaxSequences int
+	// MinBlocks is a floor: truncation never leaves fewer live blocks
+	// ("a minimum length … can be specified", §IV-D.3). 0 disables.
+	MinBlocks int
+	// MinTimeSpan is a floor on the logical time covered by live blocks
+	// ("a minimum time span coverage", §IV-D.3). 0 disables.
+	MinTimeSpan uint64
+	// Shrink selects the merge policy; defaults to ShrinkAllButNewest.
+	Shrink ShrinkPolicy
+	// RedundancyReference enables the Fig. 9 middle-sequence Merkle
+	// reference in summary blocks.
+	RedundancyReference bool
+	// Registry validates entry signatures and roles. Required.
+	Registry *identity.Registry
+	// Clock supplies logical timestamps. Defaults to a fresh Logical
+	// clock starting at 0.
+	Clock simclock.Clock
+	// DeletionPolicy selects requester authorization strictness.
+	// Defaults to role-based (§IV-D.1).
+	DeletionPolicy deletion.Policy
+	// AutoCohesion, when set, auto-approves cohesion for dependents whose
+	// owners the requester's clearance dominates (the Bell-LaPadula-style
+	// automatic approach of §IV-D.2). Nil keeps the pure co-signature rule.
+	AutoCohesion *deletion.AutoPolicy
+	// Seal, when set, finalizes freshly built normal blocks (e.g. mines
+	// a proof-of-work nonce). Summary blocks are never sealed: every
+	// node computes them locally (§IV-B).
+	Seal func(*block.Block) error
+	// VerifySeal, when set, checks the seal of appended normal blocks.
+	VerifySeal func(*block.Block) error
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.SequenceLength < 2 {
+		return cfg, fmt.Errorf("%w: SequenceLength %d < 2", ErrConfig, cfg.SequenceLength)
+	}
+	if cfg.Registry == nil {
+		return cfg, fmt.Errorf("%w: Registry is required", ErrConfig)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewLogical(0)
+	}
+	if cfg.Shrink == 0 {
+		cfg.Shrink = ShrinkAllButNewest
+	}
+	if !cfg.Shrink.Valid() {
+		return cfg, fmt.Errorf("%w: invalid shrink policy %d", ErrConfig, cfg.Shrink)
+	}
+	if cfg.MaxBlocks < 0 || cfg.MaxSequences < 0 || cfg.MinBlocks < 0 {
+		return cfg, fmt.Errorf("%w: negative limit", ErrConfig)
+	}
+	if cfg.MaxBlocks > 0 && cfg.MaxBlocks < cfg.SequenceLength {
+		return cfg, fmt.Errorf("%w: MaxBlocks %d < SequenceLength %d", ErrConfig, cfg.MaxBlocks, cfg.SequenceLength)
+	}
+	if cfg.DeletionPolicy == 0 {
+		cfg.DeletionPolicy = deletion.PolicyRoleBased
+	}
+	return cfg, nil
+}
+
+// newAuthorizer builds the deletion authorizer from a validated config.
+func newAuthorizer(cfg Config) *deletion.Authorizer {
+	a := deletion.NewAuthorizer(cfg.Registry, cfg.DeletionPolicy)
+	if cfg.AutoCohesion != nil {
+		a = a.WithAutoPolicy(cfg.AutoCohesion)
+	}
+	return a
+}
+
+// Errors returned by chain operations.
+var (
+	ErrConfig          = errors.New("chain: invalid configuration")
+	ErrNotNext         = errors.New("chain: block does not extend the head")
+	ErrWrongSlot       = errors.New("chain: block kind does not match its slot")
+	ErrTimeRegression  = errors.New("chain: block timestamp precedes head")
+	ErrSummaryMismatch = errors.New("chain: summary block differs from locally computed summary")
+	ErrEntryInvalid    = errors.New("chain: invalid entry")
+	ErrDependsMissing  = errors.New("chain: dependency does not exist in the live chain")
+	ErrDependsMarked   = errors.New("chain: dependency is marked for deletion")
+	ErrNotFound        = errors.New("chain: entry not found")
+	ErrSealFailed      = errors.New("chain: seal verification failed")
+)
+
+// Location says where an entry currently lives.
+type Location struct {
+	// Block is the number of the block currently holding the entry
+	// (the origin block, or the summary block it migrated into).
+	Block uint64
+	// Index is the position within Entries (normal) or Carried (summary).
+	Index int
+	// Carried is true when the entry lives inside a summary block.
+	Carried bool
+}
+
+// Mark is an approved deletion mark (§IV-D.3: "the specified data is
+// marked to be deleted in the future").
+type Mark struct {
+	// Target is the entry to be forgotten.
+	Target block.Ref
+	// Requester is the participant whose request was approved.
+	Requester string
+	// RequestRef locates the deletion entry that created the mark.
+	RequestRef block.Ref
+	// MarkedAtBlock is the block number at which the mark was approved
+	// (used by the delayed-deletion experiments, E8).
+	MarkedAtBlock uint64
+}
+
+// Listener observes chain mutations. Callbacks run synchronously after
+// the mutation completed and the chain lock was released; implementations
+// must not mutate the chain reentrantly from callbacks.
+type Listener interface {
+	// OnAppend fires for every appended block (normal and summary).
+	OnAppend(b *block.Block)
+	// OnTruncate fires after a marker shift physically removed the
+	// blocks with numbers in [oldMarker, newMarker).
+	OnTruncate(oldMarker, newMarker uint64)
+}
+
+// Stats is a snapshot of chain size and deletion counters.
+type Stats struct {
+	// LiveBlocks is the number of blocks from marker to head.
+	LiveBlocks int
+	// LiveBytes is the total canonical encoded size of live blocks.
+	LiveBytes int64
+	// LiveEntries counts live, unexpired, unmarked data entries.
+	LiveEntries int
+	// CarriedEntries counts data entries living inside summary blocks.
+	CarriedEntries int
+	// AppendedBlocks counts every block ever appended (incl. genesis).
+	AppendedBlocks uint64
+	// CutBlocks counts blocks physically deleted by marker shifts.
+	CutBlocks uint64
+	// ActiveMarks counts approved deletion marks not yet physically
+	// executed.
+	ActiveMarks int
+	// ForgottenEntries counts entries physically deleted on request.
+	ForgottenEntries uint64
+	// ExpiredEntries counts temporary entries dropped at summarization.
+	ExpiredEntries uint64
+	// RejectedRequests counts deletion requests that were included but
+	// had no effect ("wrong requests … have no further effects", §V).
+	RejectedRequests uint64
+}
+
+// Chain is a live selective-deletion blockchain. All methods are safe for
+// concurrent use.
+type Chain struct {
+	mu   sync.RWMutex
+	cfg  Config
+	auth *deletion.Authorizer
+
+	// blocks holds the live blocks; blocks[i].Header.Number == marker+i.
+	blocks []*block.Block
+	// marker is the shifting Genesis marker m: the number of the first
+	// live block.
+	marker uint64
+
+	// index maps stable entry references (origin block, entry number) to
+	// current locations; it covers data entries only.
+	index map[block.Ref]Location
+	// dependents maps a target reference to the entries depending on it.
+	dependents map[block.Ref][]deletion.Dependent
+	// marks holds approved, not-yet-executed deletion marks.
+	marks map[block.Ref]Mark
+
+	liveBytes int64
+	stats     Stats
+
+	listeners []Listener
+}
+
+// New creates a chain with a fresh genesis block (number 0, previous hash
+// GenesisPrevHash, no entries).
+func New(cfg Config) (*Chain, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{
+		cfg:        full,
+		auth:       newAuthorizer(full),
+		index:      make(map[block.Ref]Location),
+		dependents: make(map[block.Ref][]deletion.Dependent),
+		marks:      make(map[block.Ref]Mark),
+	}
+	genesis := block.NewNormal(0, full.Clock.Tick(), block.GenesisPrevHash, nil)
+	c.blocks = append(c.blocks, genesis)
+	c.liveBytes = int64(genesis.EncodedSize())
+	c.stats.AppendedBlocks = 1
+	return c, nil
+}
+
+// AddListener registers a mutation observer.
+func (c *Chain) AddListener(l Listener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, l)
+}
+
+// Registry returns the identity registry the chain validates against.
+func (c *Chain) Registry() *identity.Registry { return c.cfg.Registry }
+
+// SequenceLength returns the configured summary distance l.
+func (c *Chain) SequenceLength() int { return c.cfg.SequenceLength }
+
+// Marker returns the current Genesis marker m.
+func (c *Chain) Marker() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.marker
+}
+
+// Head returns the header of the newest block.
+func (c *Chain) Head() block.Header {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head().Header
+}
+
+func (c *Chain) head() *block.Block { return c.blocks[len(c.blocks)-1] }
+
+// Len returns the number of live blocks (lβ).
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.blocks)
+}
+
+// NextNumber returns the block number the next appended block must carry.
+func (c *Chain) NextNumber() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head().Header.Number + 1
+}
+
+// isSummarySlot reports whether block number α is a summary position.
+func (c *Chain) isSummarySlot(num uint64) bool {
+	return (num+1)%uint64(c.cfg.SequenceLength) == 0
+}
+
+// NextIsSummary reports whether the next block must be a summary block.
+func (c *Chain) NextIsSummary() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.isSummarySlot(c.head().Header.Number + 1)
+}
+
+// blockAt returns the live block with the given number.
+func (c *Chain) blockAt(num uint64) (*block.Block, bool) {
+	if num < c.marker {
+		return nil, false
+	}
+	i := int(num - c.marker)
+	if i >= len(c.blocks) {
+		return nil, false
+	}
+	return c.blocks[i], true
+}
+
+// Block returns the live block with the given number.
+func (c *Chain) Block(num uint64) (*block.Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.blockAt(num)
+	return b, ok
+}
+
+// Blocks returns the live blocks in order. The returned slice is fresh
+// but shares the (immutable-by-convention) block values.
+func (c *Chain) Blocks() []*block.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*block.Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
+// Lookup resolves a stable entry reference to the entry and its current
+// location (possibly inside a summary block).
+func (c *Chain) Lookup(ref block.Ref) (*block.Entry, Location, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lookup(ref)
+}
+
+func (c *Chain) lookup(ref block.Ref) (*block.Entry, Location, bool) {
+	loc, ok := c.index[ref]
+	if !ok {
+		return nil, Location{}, false
+	}
+	b, ok := c.blockAt(loc.Block)
+	if !ok {
+		return nil, Location{}, false
+	}
+	if loc.Carried {
+		return b.Carried[loc.Index].Entry, loc, true
+	}
+	return b.Entries[loc.Index], loc, true
+}
+
+// IsMarked reports whether ref carries an approved deletion mark.
+func (c *Chain) IsMarked(ref block.Ref) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.marks[ref]
+	return ok
+}
+
+// Marks returns the active deletion marks.
+func (c *Chain) Marks() []Mark {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Mark, 0, len(c.marks))
+	for _, m := range c.marks {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Confirmations returns how many blocks confirm the entry at ref: the
+// distance from the block currently holding the entry to the head.
+func (c *Chain) Confirmations(ref block.Ref) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.index[ref]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	return c.head().Header.Number - loc.Block, nil
+}
+
+// Stats returns a snapshot of the chain's size and deletion counters.
+func (c *Chain) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.stats
+	s.LiveBlocks = len(c.blocks)
+	s.LiveBytes = c.liveBytes
+	s.ActiveMarks = len(c.marks)
+	live, carried := 0, 0
+	for ref, loc := range c.index {
+		if _, marked := c.marks[ref]; marked {
+			continue
+		}
+		live++
+		if loc.Carried {
+			carried++
+		}
+	}
+	s.LiveEntries = live
+	s.CarriedEntries = carried
+	return s
+}
+
+// validateEntries checks every entry of a candidate normal block against
+// the live chain state: shape, signature, and dependency rules.
+func (c *Chain) validateEntries(entries []*block.Entry) error {
+	for i, e := range entries {
+		if err := e.CheckShape(); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrEntryInvalid, i, err)
+		}
+		if err := c.cfg.Registry.Verify(e.Owner, e.SigningBytes(), e.Signature); err != nil {
+			return fmt.Errorf("%w: entry %d: %v", ErrEntryInvalid, i, err)
+		}
+		if e.Kind != block.KindData {
+			continue
+		}
+		for _, dep := range e.DependsOn {
+			if _, ok := c.index[dep]; !ok {
+				return fmt.Errorf("%w: entry %d depends on %s", ErrDependsMissing, i, dep)
+			}
+			// §IV-D.3: "Subsequent incoming transactions based on this
+			// marked data are no longer permitted."
+			if _, marked := c.marks[dep]; marked {
+				return fmt.Errorf("%w: entry %d depends on %s", ErrDependsMarked, i, dep)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateEntries checks candidate entries against the live chain state
+// (shape, signature, dependency rules) without building a block or
+// advancing the clock. Note that entries cannot depend on other entries
+// in the same candidate set: dependencies must already be committed.
+func (c *Chain) ValidateEntries(entries []*block.Entry) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.validateEntries(entries)
+}
+
+// InjectMarkForTest forcibly adds a deletion mark, bypassing all
+// authorization. It exists solely for fault injection — modelling a
+// corrupted node whose locally computed summary diverges from the quorum
+// (§IV-B) — and must never be called on a production chain.
+func (c *Chain) InjectMarkForTest(ref block.Ref) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.marks[ref] = Mark{Target: ref, Requester: "<fault-injection>"}
+}
+
+// BuildNormal assembles (but does not append) the next normal block from
+// the given entries. The block is unsealed; callers with a consensus
+// engine seal it before appending. Fails if the next slot is a summary
+// slot or any entry is invalid.
+func (c *Chain) BuildNormal(entries []*block.Entry) (*block.Block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.head().Header.Number + 1
+	if c.isSummarySlot(next) {
+		return nil, fmt.Errorf("%w: block %d is a summary slot", ErrWrongSlot, next)
+	}
+	if err := c.validateEntries(entries); err != nil {
+		return nil, err
+	}
+	return block.NewNormal(next, c.cfg.Clock.Tick(), c.head().Hash(), entries), nil
+}
+
+// AppendBlock validates and appends a block received from consensus or
+// gossip. Summary blocks are compared bit-for-bit against the locally
+// computed summary (§IV-B); a mismatch signals a fork.
+func (c *Chain) AppendBlock(b *block.Block) error {
+	c.mu.Lock()
+	events, err := c.appendLocked(b)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	events.fire(c.listenersSnapshot())
+	return nil
+}
+
+type chainEvents struct {
+	appended  []*block.Block
+	truncated *[2]uint64
+}
+
+func (ev chainEvents) fire(ls []Listener) {
+	for _, l := range ls {
+		for _, b := range ev.appended {
+			l.OnAppend(b)
+		}
+		if ev.truncated != nil {
+			l.OnTruncate(ev.truncated[0], ev.truncated[1])
+		}
+	}
+}
+
+func (c *Chain) listenersSnapshot() []Listener {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Listener, len(c.listeners))
+	copy(out, c.listeners)
+	return out
+}
+
+func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
+	var events chainEvents
+	if err := b.CheckShape(); err != nil {
+		return events, err
+	}
+	head := c.head()
+	next := head.Header.Number + 1
+	if b.Header.Number != next {
+		return events, fmt.Errorf("%w: got %d, want %d", ErrNotNext, b.Header.Number, next)
+	}
+	if b.Header.PrevHash != head.Hash() {
+		return events, fmt.Errorf("%w: previous hash mismatch at %d", ErrNotNext, b.Header.Number)
+	}
+	wantSummary := c.isSummarySlot(next)
+	if b.IsSummary() != wantSummary {
+		return events, fmt.Errorf("%w: block %d: summary=%v, slot wants %v", ErrWrongSlot, next, b.IsSummary(), wantSummary)
+	}
+
+	if b.IsSummary() {
+		expected, plan := c.planSummaryLocked()
+		if expected.Hash() != b.Hash() {
+			return events, fmt.Errorf("%w: block %d: got %s, computed %s",
+				ErrSummaryMismatch, next, b.Hash(), expected.Hash())
+		}
+		c.pushBlock(b)
+		events.appended = append(events.appended, b)
+		if tr := c.applyPlanLocked(plan); tr != nil {
+			events.truncated = tr
+		}
+		return events, nil
+	}
+
+	// Normal block.
+	if b.Header.Time < head.Header.Time {
+		return events, fmt.Errorf("%w: %d < %d", ErrTimeRegression, b.Header.Time, head.Header.Time)
+	}
+	if c.cfg.VerifySeal != nil {
+		if err := c.cfg.VerifySeal(b); err != nil {
+			return events, fmt.Errorf("%w: %v", ErrSealFailed, err)
+		}
+	}
+	if err := c.validateEntries(b.Entries); err != nil {
+		return events, err
+	}
+	c.pushBlock(b)
+	c.processNormal(b)
+	events.appended = append(events.appended, b)
+	return events, nil
+}
+
+// pushBlock links b into the live slice and indexes its entries.
+func (c *Chain) pushBlock(b *block.Block) {
+	c.blocks = append(c.blocks, b)
+	c.liveBytes += int64(b.EncodedSize())
+	c.stats.AppendedBlocks++
+	num := b.Header.Number
+	if b.IsSummary() {
+		for i, carried := range b.Carried {
+			c.index[carried.Ref()] = Location{Block: num, Index: i, Carried: true}
+		}
+		return
+	}
+	for i, e := range b.Entries {
+		if e.Kind != block.KindData {
+			continue
+		}
+		c.index[block.Ref{Block: num, Entry: uint32(i)}] = Location{Block: num, Index: i}
+	}
+}
+
+// processNormal applies the side effects of a freshly appended normal
+// block: dependency registration and deletion-request processing.
+func (c *Chain) processNormal(b *block.Block) {
+	num := b.Header.Number
+	for i, e := range b.Entries {
+		ref := block.Ref{Block: num, Entry: uint32(i)}
+		switch e.Kind {
+		case block.KindData:
+			for _, dep := range e.DependsOn {
+				c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: e.Owner})
+			}
+		case block.KindDeletion:
+			c.processDeletionRequest(e, ref, num)
+		}
+	}
+}
+
+// processDeletionRequest validates a deletion request against §IV-D and
+// creates a mark on success. Invalid requests stay in the chain but have
+// no effect ("wrong request of deletions can be included in the
+// blockchain, but these have no further effects", §V).
+func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock uint64) {
+	target, _, ok := c.lookup(e.Target)
+	if !ok {
+		c.stats.RejectedRequests++
+		return
+	}
+	if err := c.auth.ValidateRequest(e, target, c.liveDependents(e.Target)); err != nil {
+		c.stats.RejectedRequests++
+		return
+	}
+	c.marks[e.Target] = Mark{
+		Target:        e.Target,
+		Requester:     e.Owner,
+		RequestRef:    ref,
+		MarkedAtBlock: atBlock,
+	}
+}
+
+// liveDependents returns the dependents of target that are still alive
+// and not themselves marked for deletion.
+func (c *Chain) liveDependents(target block.Ref) []deletion.Dependent {
+	var out []deletion.Dependent
+	for _, dep := range c.dependents[target] {
+		if _, ok := c.index[dep.Ref]; !ok {
+			continue
+		}
+		if _, marked := c.marks[dep.Ref]; marked {
+			continue
+		}
+		out = append(out, dep)
+	}
+	return out
+}
+
+// CheckDeletionRequest eagerly validates a deletion request without
+// appending anything, so clients learn about rejections before paying for
+// a block (§IV-D). The chain still tolerates invalid requests on-chain.
+func (c *Chain) CheckDeletionRequest(e *block.Entry) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e.Kind != block.KindDeletion {
+		return fmt.Errorf("%w: not a deletion entry", ErrEntryInvalid)
+	}
+	target, _, ok := c.lookup(e.Target)
+	if !ok {
+		return fmt.Errorf("%w: target %s", ErrNotFound, e.Target)
+	}
+	return c.auth.ValidateRequest(e, target, c.liveDependents(e.Target))
+}
+
+// Commit builds, seals, and appends a normal block holding entries, then
+// automatically creates and appends the summary block if the following
+// slot is a summary slot (the consensus-extension behaviour of §IV-B).
+// It returns every block appended (one or two).
+func (c *Chain) Commit(entries []*block.Entry) ([]*block.Block, error) {
+	normal, err := c.BuildNormal(entries)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Seal != nil {
+		if err := c.cfg.Seal(normal); err != nil {
+			return nil, fmt.Errorf("chain: seal: %w", err)
+		}
+	}
+	if err := c.AppendBlock(normal); err != nil {
+		return nil, err
+	}
+	appended := []*block.Block{normal}
+	for c.NextIsSummary() {
+		summary, err := c.BuildSummary()
+		if err != nil {
+			return appended, err
+		}
+		if err := c.AppendBlock(summary); err != nil {
+			return appended, err
+		}
+		appended = append(appended, summary)
+	}
+	return appended, nil
+}
+
+// AppendEmpty appends an empty filler block (and any due summary block).
+// Deployed "to prevent a long delay in deletion … by regularly adding
+// empty blocks … if no transaction has occurred" (§IV-D.3).
+func (c *Chain) AppendEmpty() ([]*block.Block, error) {
+	return c.Commit(nil)
+}
+
+// VerifyIntegrity re-validates the whole live chain: hash links, body
+// commitments, and slot kinds. It returns the first violation found.
+func (c *Chain) VerifyIntegrity() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, b := range c.blocks {
+		if err := b.CheckShape(); err != nil {
+			return fmt.Errorf("block %d: %w", b.Header.Number, err)
+		}
+		wantNum := c.marker + uint64(i)
+		if b.Header.Number != wantNum {
+			return fmt.Errorf("block at offset %d has number %d, want %d", i, b.Header.Number, wantNum)
+		}
+		if b.IsSummary() != c.isSummarySlot(b.Header.Number) {
+			return fmt.Errorf("block %d: kind %s does not match slot", b.Header.Number, b.Header.Kind)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := c.blocks[i-1]
+		if b.Header.PrevHash != prev.Hash() {
+			return fmt.Errorf("block %d: broken hash link", b.Header.Number)
+		}
+		if b.IsSummary() && b.Header.Time != prev.Header.Time {
+			return fmt.Errorf("summary %d: timestamp differs from predecessor", b.Header.Number)
+		}
+		if !b.IsSummary() && b.Header.Time < prev.Header.Time {
+			return fmt.Errorf("block %d: timestamp regression", b.Header.Number)
+		}
+	}
+	return nil
+}
+
+// HeadHash returns the hash of the newest block.
+func (c *Chain) HeadHash() codec.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head().Hash()
+}

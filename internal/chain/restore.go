@@ -1,0 +1,67 @@
+package chain
+
+import (
+	"fmt"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/deletion"
+)
+
+// Restore rebuilds a chain from persisted live blocks, e.g. after an
+// anchor node restart. The blocks must be the exact live suffix of a
+// selective-deletion chain: consecutive numbers starting at the marker,
+// hash-linked, with summary blocks in their slots, the first block being
+// the current Genesis marker (§IV-C: the marker block "is a trusted
+// anchor for the left blockchain part already approved by the anchor
+// nodes").
+//
+// Deletion marks are reconstructed by re-processing the deletion entries
+// present in the live blocks; marks whose targets were already physically
+// forgotten are (correctly) not recreated. Lifetime statistics counters
+// (CutBlocks, ForgottenEntries, …) restart from zero — they describe the
+// current process, not the chain's full history.
+func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%w: no blocks to restore", ErrConfig)
+	}
+	c := &Chain{
+		cfg:        full,
+		auth:       newAuthorizer(full),
+		index:      make(map[block.Ref]Location),
+		dependents: make(map[block.Ref][]deletion.Dependent),
+		marks:      make(map[block.Ref]Mark),
+		marker:     blocks[0].Header.Number,
+	}
+	if c.marker%uint64(full.SequenceLength) != 0 {
+		return nil, fmt.Errorf("%w: first block %d is not sequence-aligned", ErrConfig, c.marker)
+	}
+	for i, b := range blocks {
+		if err := b.CheckShape(); err != nil {
+			return nil, fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
+		}
+		wantNum := c.marker + uint64(i)
+		if b.Header.Number != wantNum {
+			return nil, fmt.Errorf("chain: restore: block %d out of order (want %d)", b.Header.Number, wantNum)
+		}
+		if b.IsSummary() != c.isSummarySlot(b.Header.Number) {
+			return nil, fmt.Errorf("chain: restore: block %d kind %s does not match slot", b.Header.Number, b.Header.Kind)
+		}
+		if i > 0 && b.Header.PrevHash != blocks[i-1].Hash() {
+			return nil, fmt.Errorf("chain: restore: broken hash link at block %d", b.Header.Number)
+		}
+		c.pushBlock(b)
+		if !b.IsSummary() {
+			c.processNormal(b)
+		}
+	}
+	// Make sure a restored clock never reissues timestamps from the past.
+	if setter, ok := full.Clock.(interface{ Set(uint64) }); ok {
+		setter.Set(c.head().Header.Time)
+	}
+	c.stats.AppendedBlocks = uint64(len(blocks))
+	return c, nil
+}

@@ -1,0 +1,254 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/merkle"
+)
+
+// summaryPlan is the deterministic retention decision taken when a
+// summary block is created: which prefix of the chain is merged away and
+// how many temporary entries expired in the process. Every honest node
+// derives the identical plan from the identical chain state (§IV-B), so
+// the plan never needs to be propagated.
+type summaryPlan struct {
+	// newMarker is the Genesis marker after the merge (unchanged when
+	// nothing is merged).
+	newMarker uint64
+	// expired counts temporary entries dropped because their deadline
+	// passed (§IV-D.4).
+	expired uint64
+}
+
+// seqOf returns the sequence index containing block number n.
+func (c *Chain) seqOf(n uint64) uint64 { return n / uint64(c.cfg.SequenceLength) }
+
+// seqStart returns the first block number of sequence s.
+func (c *Chain) seqStart(s uint64) uint64 { return s * uint64(c.cfg.SequenceLength) }
+
+// planSummaryLocked computes the next summary block Σ and its retention
+// plan. Callers must hold the chain lock (read or write) and must have
+// verified that the next slot is a summary slot.
+func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
+	head := c.head()
+	num := head.Header.Number + 1
+	currentSeq := c.seqOf(num)
+	firstSeq := c.seqOf(c.marker)
+
+	// Decide how far to shrink (Eq. 1, iterated per the configured
+	// policy), measured as the first sequence to KEEP.
+	keepFrom := firstSeq
+	if c.limitExceeded(firstSeq, num) {
+		switch c.cfg.Shrink {
+		case ShrinkAllButNewest:
+			keepFrom = currentSeq
+		default: // ShrinkMinimal
+			for keepFrom < currentSeq && c.limitExceeded(keepFrom, num) {
+				keepFrom++
+			}
+		}
+	}
+	// Floors (§IV-D.3): never shrink below MinBlocks live blocks or below
+	// MinTimeSpan of covered logical time.
+	for keepFrom > firstSeq && c.violatesFloors(keepFrom, num, head.Header.Time) {
+		keepFrom--
+	}
+
+	plan := summaryPlan{newMarker: c.marker}
+	if keepFrom > firstSeq {
+		plan.newMarker = c.seqStart(keepFrom)
+	}
+
+	// Copy the content of the merged prefix into the new summary block
+	// (Fig. 4): original block number, timestamp, and entry number are
+	// preserved; deletion entries, marked entries, and expired temporary
+	// entries are not copied (§IV-C, §IV-D).
+	var carried []block.CarriedEntry
+	for _, b := range c.blocks {
+		if b.Header.Number >= plan.newMarker {
+			break
+		}
+		if b.IsSummary() {
+			for _, ce := range b.Carried {
+				if _, marked := c.marks[ce.Ref()]; marked {
+					continue
+				}
+				if ce.Entry.ExpiredAt(head.Header.Time, num) {
+					plan.expired++
+					continue
+				}
+				carried = append(carried, ce)
+			}
+			continue
+		}
+		for i, e := range b.Entries {
+			if e.Kind == block.KindDeletion {
+				// §IV-D.3: deletion requests are never copied forward.
+				continue
+			}
+			ref := block.Ref{Block: b.Header.Number, Entry: uint32(i)}
+			if _, marked := c.marks[ref]; marked {
+				continue
+			}
+			if e.ExpiredAt(head.Header.Time, num) {
+				plan.expired++
+				continue
+			}
+			carried = append(carried, block.CarriedEntry{
+				OriginBlock: b.Header.Number,
+				OriginTime:  b.Header.Time,
+				EntryNumber: uint32(i),
+				Entry:       e,
+			})
+		}
+	}
+
+	// Fig. 4 orders the summary data part by origin block and entry
+	// number; sorting also keeps the layout stable as entries migrate
+	// through multiple summary generations.
+	sort.Slice(carried, func(i, j int) bool {
+		if carried[i].OriginBlock != carried[j].OriginBlock {
+			return carried[i].OriginBlock < carried[j].OriginBlock
+		}
+		return carried[i].EntryNumber < carried[j].EntryNumber
+	})
+
+	var seqRef *block.SequenceRef
+	if c.cfg.RedundancyReference {
+		seqRef = c.middleSequenceRef(c.seqOf(plan.newMarker), currentSeq)
+	}
+
+	return block.NewSummary(num, head.Header.Time, head.Hash(), carried, seqRef), plan
+}
+
+// limitExceeded reports whether the configured MaxBlocks/MaxSequences
+// limit is exceeded for a chain whose first kept sequence is keepFrom and
+// whose newest block (the summary being created) is num.
+func (c *Chain) limitExceeded(keepFrom, num uint64) bool {
+	liveLen := num - c.seqStart(keepFrom) + 1
+	if c.cfg.MaxBlocks > 0 && liveLen > uint64(c.cfg.MaxBlocks) {
+		return true
+	}
+	if c.cfg.MaxSequences > 0 {
+		seqCount := c.seqOf(num) - keepFrom + 1
+		if seqCount > uint64(c.cfg.MaxSequences) {
+			return true
+		}
+	}
+	return false
+}
+
+// violatesFloors reports whether keeping only sequences ≥ keepFrom would
+// violate the MinBlocks or MinTimeSpan floor.
+func (c *Chain) violatesFloors(keepFrom, num, summaryTime uint64) bool {
+	start := c.seqStart(keepFrom)
+	liveLen := num - start + 1
+	if c.cfg.MinBlocks > 0 && liveLen < uint64(c.cfg.MinBlocks) {
+		return true
+	}
+	if c.cfg.MinTimeSpan > 0 {
+		first, ok := c.blockAt(start)
+		if ok && summaryTime-first.Header.Time < c.cfg.MinTimeSpan {
+			return true
+		}
+	}
+	return false
+}
+
+// middleSequenceRef builds the Fig. 9 redundancy reference: the Merkle
+// root over the block hashes of the middle live sequence ω_{lβ/2}. Nil
+// when fewer than two complete sequences remain.
+func (c *Chain) middleSequenceRef(firstLiveSeq, currentSeq uint64) *block.SequenceRef {
+	if currentSeq <= firstLiveSeq {
+		return nil
+	}
+	mid := firstLiveSeq + (currentSeq-firstLiveSeq)/2
+	if mid >= currentSeq { // only the in-progress sequence remains
+		return nil
+	}
+	start := c.seqStart(mid)
+	end := c.seqStart(mid+1) - 1
+	hashes := make([]codec.Hash, 0, c.cfg.SequenceLength)
+	for n := start; n <= end; n++ {
+		b, ok := c.blockAt(n)
+		if !ok {
+			return nil
+		}
+		hashes = append(hashes, b.Hash())
+	}
+	return &block.SequenceRef{
+		FirstBlock: start,
+		LastBlock:  end,
+		Root:       merkle.BuildFromHashes(hashes).Root(),
+	}
+}
+
+// BuildSummary computes the next summary block Σ from local state. Every
+// honest node produces a bit-identical block (§IV-B). The block is not
+// appended; call AppendBlock with it.
+func (c *Chain) BuildSummary() (*block.Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	next := c.head().Header.Number + 1
+	if !c.isSummarySlot(next) {
+		return nil, fmt.Errorf("%w: block %d is not a summary slot", ErrWrongSlot, next)
+	}
+	b, _ := c.planSummaryLocked()
+	return b, nil
+}
+
+// applyPlanLocked executes the retention plan after its summary block was
+// appended: shift the Genesis marker and physically cut the merged prefix
+// (§IV-C: "the old sequence can be cut off and deleted"). Returns the
+// [old, new) marker pair when a truncation happened.
+func (c *Chain) applyPlanLocked(plan summaryPlan) *[2]uint64 {
+	c.stats.ExpiredEntries += plan.expired
+	if plan.newMarker == c.marker {
+		return nil
+	}
+	old := c.marker
+	cut := int(plan.newMarker - old)
+	for _, b := range c.blocks[:cut] {
+		c.liveBytes -= int64(b.EncodedSize())
+	}
+	c.stats.CutBlocks += uint64(cut)
+	// Copy the tail into a fresh slice so the cut blocks become
+	// collectable (real space reclamation, not just re-slicing).
+	c.blocks = append(make([]*block.Block, 0, len(c.blocks)-cut), c.blocks[cut:]...)
+	c.marker = plan.newMarker
+
+	// Sweep the entry index: references whose current location was cut
+	// are physically gone. Marks pointing at them are now executed.
+	for ref, loc := range c.index {
+		if loc.Block >= c.marker {
+			continue
+		}
+		delete(c.index, ref)
+		if _, marked := c.marks[ref]; marked {
+			delete(c.marks, ref)
+			c.stats.ForgottenEntries++
+		}
+	}
+	// Sweep the dependency graph: drop edges whose endpoints died.
+	for target, deps := range c.dependents {
+		if _, ok := c.index[target]; !ok {
+			delete(c.dependents, target)
+			continue
+		}
+		kept := deps[:0]
+		for _, dep := range deps {
+			if _, ok := c.index[dep.Ref]; ok {
+				kept = append(kept, dep)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.dependents, target)
+		} else {
+			c.dependents[target] = kept
+		}
+	}
+	return &[2]uint64{old, c.marker}
+}

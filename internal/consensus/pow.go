@@ -1,0 +1,67 @@
+package consensus
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+)
+
+// PoW is a proof-of-work engine: a block is sealed when its header hash
+// has at least Bits leading zero bits. Difficulty is deliberately small —
+// the experiments need relative costs (E12), not Bitcoin-scale security.
+type PoW struct {
+	// Bits is the required number of leading zero bits (1..64 practical).
+	Bits int
+	// MaxIter caps the nonce search; 0 means search the full nonce space.
+	MaxIter uint64
+}
+
+// NewPoW returns a proof-of-work engine with the given difficulty.
+func NewPoW(difficultyBits int) *PoW {
+	return &PoW{Bits: difficultyBits}
+}
+
+// Name implements Engine.
+func (p *PoW) Name() string { return fmt.Sprintf("pow-%d", p.Bits) }
+
+// leadingZeroBits counts the leading zero bits of h.
+func leadingZeroBits(h codec.Hash) int {
+	total := 0
+	for i := 0; i < len(h); i += 8 {
+		word := uint64(h[i])<<56 | uint64(h[i+1])<<48 | uint64(h[i+2])<<40 | uint64(h[i+3])<<32 |
+			uint64(h[i+4])<<24 | uint64(h[i+5])<<16 | uint64(h[i+6])<<8 | uint64(h[i+7])
+		z := bits.LeadingZeros64(word)
+		total += z
+		if z < 64 {
+			break
+		}
+	}
+	return total
+}
+
+// Seal implements Engine: iterate the nonce until the difficulty holds.
+func (p *PoW) Seal(b *block.Block) error {
+	limit := p.MaxIter
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
+	header := b.Header
+	for nonce := uint64(0); nonce < limit; nonce++ {
+		header.Nonce = nonce
+		if leadingZeroBits(header.Hash()) >= p.Bits {
+			b.Header.Nonce = nonce
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: after %d nonces at %d bits", ErrExhausted, limit, p.Bits)
+}
+
+// VerifySeal implements Engine.
+func (p *PoW) VerifySeal(b *block.Block) error {
+	if got := leadingZeroBits(b.Hash()); got < p.Bits {
+		return fmt.Errorf("%w: %d leading zero bits, want %d", ErrSealInvalid, got, p.Bits)
+	}
+	return nil
+}

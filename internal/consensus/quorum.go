@@ -1,0 +1,117 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the majority-vote primitive of §IV-C: "the quorum
+// build a consensus about redefining the Genesis Block … By a majority
+// vote, the quorum determines the new first Block and the time of the
+// changeover." The same primitive backs deletion-request approval by the
+// anchor nodes (§IV-D.1).
+
+// Errors returned by quorum tallies.
+var (
+	ErrNotMember   = errors.New("consensus: voter is not a quorum member")
+	ErrDoubleVote  = errors.New("consensus: member already voted")
+	ErrEmptyQuorum = errors.New("consensus: quorum has no members")
+)
+
+// Quorum is a fixed set of anchor-node identities with majority rule.
+type Quorum struct {
+	members map[string]bool
+	ordered []string
+}
+
+// NewQuorum creates a quorum over the given member names (deduplicated).
+func NewQuorum(members []string) (*Quorum, error) {
+	if len(members) == 0 {
+		return nil, ErrEmptyQuorum
+	}
+	q := &Quorum{members: make(map[string]bool, len(members))}
+	for _, m := range members {
+		if !q.members[m] {
+			q.members[m] = true
+			q.ordered = append(q.ordered, m)
+		}
+	}
+	sort.Strings(q.ordered)
+	return q, nil
+}
+
+// Members returns the sorted member names.
+func (q *Quorum) Members() []string {
+	out := make([]string, len(q.ordered))
+	copy(out, q.ordered)
+	return out
+}
+
+// Size returns the number of members.
+func (q *Quorum) Size() int { return len(q.ordered) }
+
+// Threshold returns the strict majority: floor(n/2)+1.
+func (q *Quorum) Threshold() int { return len(q.ordered)/2 + 1 }
+
+// Contains reports membership.
+func (q *Quorum) Contains(name string) bool { return q.members[name] }
+
+// Tally collects votes on one proposal (identified by the caller, e.g.
+// "shift marker to block 6 at summary 8"). Safe for concurrent use.
+type Tally struct {
+	mu      sync.Mutex
+	quorum  *Quorum
+	yes, no int
+	voted   map[string]bool
+}
+
+// NewTally starts an empty tally for the quorum.
+func (q *Quorum) NewTally() *Tally {
+	return &Tally{quorum: q, voted: make(map[string]bool)}
+}
+
+// Add records one member's vote. Double votes and non-members fail.
+func (t *Tally) Add(member string, approve bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.quorum.Contains(member) {
+		return fmt.Errorf("%w: %q", ErrNotMember, member)
+	}
+	if t.voted[member] {
+		return fmt.Errorf("%w: %q", ErrDoubleVote, member)
+	}
+	t.voted[member] = true
+	if approve {
+		t.yes++
+	} else {
+		t.no++
+	}
+	return nil
+}
+
+// Outcome reports the decision state: approved is meaningful only when
+// decided is true. A proposal is approved once yes votes reach the
+// threshold, and rejected once enough members voted no that approval has
+// become impossible.
+func (t *Tally) Outcome() (approved, decided bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	threshold := t.quorum.Threshold()
+	switch {
+	case t.yes >= threshold:
+		return true, true
+	case t.quorum.Size()-t.no < threshold:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Votes returns the current yes/no counts.
+func (t *Tally) Votes() (yes, no int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.yes, t.no
+}

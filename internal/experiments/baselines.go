@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/seldel/seldel/internal/baseline"
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// runBaselines is E10: deletion effort and trust model across the
+// related-work families of §III. Expected shape: chameleon redaction is
+// O(1) but needs a global trapdoor (undetectable rewrites by its
+// holder); hard forks cost O(chain length) per deletion and change the
+// head (forced migration); selective deletion costs one entry plus
+// bounded merge work and needs only the owner's signature, with global
+// physical deletion after the retention delay.
+func runBaselines(w io.Writer) error {
+	const chainLen = 300
+	e, err := newEnv("owner")
+	if err != nil {
+		return err
+	}
+	kp := e.keys["owner"]
+
+	// --- Selective deletion (ours) -----------------------------------
+	sel, err := chain.New(chain.Config{
+		SequenceLength: 6,
+		MaxBlocks:      60,
+		Shrink:         chain.ShrinkMinimal,
+		Registry:       e.registry,
+		Clock:          simclock.NewLogical(0),
+	})
+	if err != nil {
+		return err
+	}
+	var victims []block.Ref
+	for i := 0; i < chainLen; i++ {
+		blocks, err := sel.Commit([]*block.Entry{
+			block.NewData("owner", []byte(fmt.Sprintf("data-%d", i))).Sign(kp),
+		})
+		if err != nil {
+			return err
+		}
+		victims = append(victims, block.Ref{Block: blocks[0].Header.Number, Entry: 0})
+	}
+	victim := victims[len(victims)-10]
+	start := time.Now()
+	if _, err := sel.Commit([]*block.Entry{block.NewDeletion("owner", victim).Sign(kp)}); err != nil {
+		return err
+	}
+	selRequest := time.Since(start)
+	driveBlocks := 0
+	for {
+		if _, _, ok := sel.Lookup(victim); !ok {
+			break
+		}
+		if _, err := sel.AppendEmpty(); err != nil {
+			return err
+		}
+		driveBlocks++
+	}
+
+	// --- Hard fork -----------------------------------------------------
+	hf := baseline.NewHardFork()
+	for i := 0; i < chainLen; i++ {
+		hf.Append([]*block.Entry{block.NewData("owner", []byte(fmt.Sprintf("data-%d", i))).Sign(kp)})
+	}
+	// Delete an EARLY entry: the hard fork must rebuild nearly the whole
+	// history ("very time inefficient", §III).
+	start = time.Now()
+	rebuilt, err := hf.Delete(block.Ref{Block: 10, Entry: 0})
+	if err != nil {
+		return err
+	}
+	hfDur := time.Since(start)
+
+	// --- Chameleon hash -------------------------------------------------
+	key, err := baseline.GenerateChameleonKey()
+	if err != nil {
+		return err
+	}
+	cham := baseline.NewChameleonChain(key)
+	for i := 0; i < chainLen; i++ {
+		if _, err := cham.Append([]byte(fmt.Sprintf("data-%d", i))); err != nil {
+			return err
+		}
+	}
+	start = time.Now()
+	if err := cham.Redact(10, []byte("REDACTED")); err != nil {
+		return err
+	}
+	chamDur := time.Since(start)
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "system\tper-deletion work\twall time\tauthorization\tglobally deleted\tside effects")
+	fmt.Fprintf(tw, "selective deletion (ours)\t1 request entry + bounded merge\t%v (+%d filler blocks to physical cut)\towner signature + quorum\tyes, after retention delay\tnone (refs stay valid)\n",
+		selRequest.Round(time.Microsecond), driveBlocks)
+	fmt.Fprintf(tw, "hard fork [21]\trebuild %d blocks\t%v\tout-of-band community decision\tyes, if ALL nodes migrate\thead hash changes; full re-sync\n",
+		rebuilt, hfDur.Round(time.Microsecond))
+	fmt.Fprintf(tw, "chameleon hash [21-23]\tO(1) trapdoor collision\t%v\ttrapdoor holder ONLY (any block, undetectable)\trewrite, not deletion\tglobal trust in trapdoor\n",
+		chamDur.Round(time.Microsecond))
+	fmt.Fprintf(tw, "local pruning [20]\tlocal disk op\t~0\tnone\tno — network keeps data\tnone\n")
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "shape: chameleon is fastest but centralizes rewrite power (§III:")
+	fmt.Fprintln(w, "'leave the responsibility with the key owners'); hard fork scales with")
+	fmt.Fprintln(w, "history; ours pays a bounded, decentralized, authorized delay.")
+	return nil
+}

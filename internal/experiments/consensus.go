@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// runConsensus is E12: §V-B.3 — "Any consensus algorithm can be extended
+// by the described behavior." The identical summary/deletion extension
+// runs over no-op, proof-of-authority, and proof-of-work engines.
+// Expected shape: summary content identical across engines; throughput
+// dominated by the engine (PoW cost grows ~2^bits); the extension itself
+// adds a small, constant overhead per sequence.
+func runConsensus(w io.Writer) error {
+	const blocks = 120
+	e, err := newEnv("writer")
+	if err != nil {
+		return err
+	}
+	kp := e.keys["writer"]
+
+	poa, err := consensus.NewAuthority([]string{"writer-node"}, "writer-node")
+	if err != nil {
+		return err
+	}
+	engines := []consensus.Engine{
+		consensus.NoOp{},
+		poa,
+		consensus.NewPoW(8),
+		consensus.NewPoW(12),
+	}
+
+	type outcome struct {
+		name         string
+		total        time.Duration
+		carriedAtEnd int
+		marker       uint64
+		forgotten    uint64
+	}
+	var results []outcome
+	for _, engine := range engines {
+		cfg := chain.Config{
+			SequenceLength: 6,
+			MaxBlocks:      30,
+			Shrink:         chain.ShrinkMinimal,
+			Registry:       e.registry,
+			Clock:          simclock.NewLogical(0),
+		}
+		consensus.Configure(&cfg, engine)
+		c, err := chain.New(cfg)
+		if err != nil {
+			return err
+		}
+		var victim block.Ref
+		start := time.Now()
+		for i := 0; i < blocks; i++ {
+			entry := block.NewData("writer", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
+			committed, err := c.Commit([]*block.Entry{entry})
+			if err != nil {
+				return err
+			}
+			if i == 40 {
+				victim = block.Ref{Block: committed[0].Header.Number, Entry: 0}
+				if _, err := c.Commit([]*block.Entry{
+					block.NewDeletion("writer", victim).Sign(kp),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		total := time.Since(start)
+		carried := 0
+		for _, b := range c.Blocks() {
+			carried += len(b.Carried)
+		}
+		results = append(results, outcome{
+			name:         engine.Name(),
+			total:        total,
+			carriedAtEnd: carried,
+			marker:       c.Marker(),
+			forgotten:    c.Stats().ForgottenEntries,
+		})
+	}
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "engine\ttotal_time\tus_per_block\tmarker\tcarried_entries\tforgotten")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%v\t%.0f\t%d\t%d\t%d\n",
+			r.name, r.total.Round(time.Millisecond),
+			float64(r.total.Microseconds())/float64(blocks),
+			r.marker, r.carriedAtEnd, r.forgotten)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// The extension's own behaviour must be engine-independent.
+	for _, r := range results[1:] {
+		if r.marker != results[0].marker || r.carriedAtEnd != results[0].carriedAtEnd || r.forgotten != results[0].forgotten {
+			return fmt.Errorf("extension behaviour differs across engines: %+v vs %+v", results[0], r)
+		}
+	}
+	fmt.Fprintln(w, "shape: identical marker/carried/forgotten columns across engines —")
+	fmt.Fprintln(w, "the extension is consensus-independent (§V-B.3); time scales with the")
+	fmt.Fprintln(w, "engine alone (pow-12 ≈ 16x pow-8 sealing cost).")
+	return nil
+}

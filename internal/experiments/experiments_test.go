@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runByID(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(&buf, id); err != nil {
+		t.Fatalf("Run(%s): %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("%d experiments, want 12 (E1–E12)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("fig7"); !ok {
+		t.Error("Lookup(fig7) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	if err := Run(&bytes.Buffer{}, "nope"); err == nil {
+		t.Error("Run(nope) did not fail")
+	}
+	if len(IDs()) != 12 {
+		t.Error("IDs incomplete")
+	}
+}
+
+func TestFigure6Output(t *testing.T) {
+	out := runByID(t, "fig6")
+	for _, want := range []string{
+		"m -> 0",     // marker at genesis
+		"DEADB",      // genesis prev hash (paper Fig. 6)
+		"S2;", "S5;", // two summary blocks
+		"login ALPHA", // the three users' logins
+		"login BRAVO",
+		"login CHARLIE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7Output(t *testing.T) {
+	out := runByID(t, "fig7")
+	for _, want := range []string{
+		"m -> 6",      // marker shifted to block 6 (paper Fig. 7)
+		"S8;",         // merging summary
+		"3/0@",        // surviving entry with original coordinates
+		"forgotten=1", // BRAVO's entry physically gone
+		"DEL 3/1",     // the deletion request itself, still live in block 6
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "login BRAVO tty1") {
+		t.Errorf("fig7 output still shows the deleted login:\n%s", out)
+	}
+}
+
+func TestFigure8Output(t *testing.T) {
+	out := runByID(t, "fig8")
+	if !strings.Contains(out, "m -> 12") {
+		t.Errorf("fig8 marker not at 12:\n%s", out)
+	}
+	if strings.Contains(out, "DEL ") {
+		t.Errorf("fig8 still shows a deletion entry:\n%s", out)
+	}
+	if !strings.Contains(out, "no deletion entry present in any live block — OK") {
+		t.Errorf("fig8 check line missing:\n%s", out)
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	// E4's headline claim: seldel bounded, plain unbounded.
+	small, err := MeasureGrowth(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MeasureGrowth(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length bound: live blocks never exceed lmax plus the in-progress
+	// sequence overshoot (retention applies at summary slots).
+	if large.SeldelLiveBlocks > 60+5 {
+		t.Errorf("seldel live blocks %d exceed lmax+l-1", large.SeldelLiveBlocks)
+	}
+	// TTL workload: bytes fully bounded (the §IV-D.4 self-cleaning case).
+	if large.SeldelTTLBytes > small.SeldelTTLBytes*2 {
+		t.Errorf("seldel TTL bytes grew %d -> %d (not bounded)", small.SeldelTTLBytes, large.SeldelTTLBytes)
+	}
+	// Durable workload: data accumulates in Σ blocks (§V-B.2) but stays
+	// below the plain chain (no per-block overhead for old data).
+	if large.SeldelDurableByte >= large.PlainBytes {
+		t.Errorf("durable seldel bytes %d not below plain %d", large.SeldelDurableByte, large.PlainBytes)
+	}
+	// Plain grows linearly: 4x blocks ≈ 4x bytes.
+	ratio := float64(large.PlainBytes) / float64(small.PlainBytes)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("plain growth ratio %.2f, want ~4", ratio)
+	}
+	// Local pruning: local bounded, global linear.
+	if large.PruneGlobalBytes <= large.PruneLocalBytes {
+		t.Error("prune global not larger than local")
+	}
+	gRatio := float64(large.PruneGlobalBytes) / float64(small.PruneGlobalBytes)
+	if gRatio < 3 {
+		t.Errorf("prune global growth ratio %.2f, want ~4", gRatio)
+	}
+	out := runByID(t, "growth")
+	if !strings.Contains(out, "sel_live_blocks") {
+		t.Error("growth table header missing")
+	}
+}
+
+func TestAttack51Output(t *testing.T) {
+	out := runByID(t, "attack51")
+	if !strings.Contains(out, "guarded(z=12)") {
+		t.Errorf("attack table missing guarded depth column:\n%s", out)
+	}
+	if !strings.Contains(out, "0.51") {
+		t.Error("majority row missing")
+	}
+}
+
+func TestSumCostOutput(t *testing.T) {
+	out := runByID(t, "sumcost")
+	for _, want := range []string{"full_copy_bytes", "hash_ref_bytes", "packaging"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sumcost output missing %q", want)
+		}
+	}
+}
+
+func TestDelCostOutput(t *testing.T) {
+	out := runByID(t, "delcost")
+	if !strings.Contains(out, "direct_lookup_ns") {
+		t.Errorf("delcost table missing:\n%s", out)
+	}
+}
+
+func TestDelayOutput(t *testing.T) {
+	out := runByID(t, "delay")
+	for _, want := range []string{"delete_delay_blocks", "filler-only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTTLOutput(t *testing.T) {
+	out := runByID(t, "ttl")
+	if !strings.Contains(out, "still alive (MUST be 0)\t0") &&
+		!strings.Contains(out, "still alive (MUST be 0)  0") {
+		t.Errorf("ttl output shows surviving expired entries:\n%s", out)
+	}
+}
+
+func TestBaselinesOutput(t *testing.T) {
+	out := runByID(t, "baselines")
+	for _, want := range []string{"selective deletion (ours)", "hard fork", "chameleon", "local pruning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baselines output missing %q", want)
+		}
+	}
+}
+
+func TestClusterOutput(t *testing.T) {
+	out := runByID(t, "cluster")
+	for _, want := range []string{"identical_heads", "fault injection", "anchor-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConsensusOutput(t *testing.T) {
+	out := runByID(t, "consensus")
+	for _, want := range []string{"noop", "poa", "pow-8", "pow-12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("consensus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), "=== "+e.ID) {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Wall-time columns vary; the figure outputs must be bit-identical.
+	for _, id := range []string{"fig6", "fig7", "fig8", "growth", "ttl"} {
+		a := runByID(t, id)
+		b := runByID(t, id)
+		if a != b {
+			t.Errorf("%s output not deterministic", id)
+		}
+	}
+}

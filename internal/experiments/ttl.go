@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// runTTL is E9: §IV-D.4 temporary entries — "If the blockchain exceeds
+// the timestamp or block number given, the entry will not be transferred
+// to the new summary block. … The system cleans up its own content."
+// Expected shape: every expired entry disappears at its first post-
+// deadline summarization with zero authorization traffic; unexpired
+// entries survive merges indefinitely.
+func runTTL(w io.Writer) error {
+	e, err := newEnv("logger")
+	if err != nil {
+		return err
+	}
+	kp := e.keys["logger"]
+	c, err := chain.New(chain.Config{
+		SequenceLength: 4,
+		MaxBlocks:      12,
+		Shrink:         chain.ShrinkMinimal,
+		Registry:       e.registry,
+		Clock:          simclock.NewLogical(0),
+	})
+	if err != nil {
+		return err
+	}
+
+	type probe struct {
+		ref      block.Ref
+		deadline uint64 // block-number deadline (0 = durable)
+	}
+	var probes []probe
+
+	// Mix: one durable and one expiring entry per block, deadlines
+	// staggered so they expire across different merge cycles.
+	const writes = 30
+	for i := 0; i < writes; i++ {
+		deadline := uint64(0)
+		next := c.NextNumber()
+		if i%2 == 0 {
+			deadline = next + uint64(4+i%12)
+		}
+		var entry *block.Entry
+		if deadline > 0 {
+			entry = block.NewTemporary("logger", []byte(fmt.Sprintf("log-%d", i)), 0, deadline).Sign(kp)
+		} else {
+			entry = block.NewData("logger", []byte(fmt.Sprintf("log-%d", i))).Sign(kp)
+		}
+		blocks, err := c.Commit([]*block.Entry{entry})
+		if err != nil {
+			return err
+		}
+		probes = append(probes, probe{
+			ref:      block.Ref{Block: blocks[0].Header.Number, Entry: 0},
+			deadline: deadline,
+		})
+	}
+	// Drive several merge cycles past every deadline.
+	for i := 0; i < 40; i++ {
+		if _, err := c.AppendEmpty(); err != nil {
+			return err
+		}
+	}
+
+	head := c.Head().Number
+	var expiredGone, expiredAlive, durableAlive, durableGone int
+	for _, p := range probes {
+		_, _, alive := c.Lookup(p.ref)
+		switch {
+		case p.deadline == 0 && alive:
+			durableAlive++
+		case p.deadline == 0 && !alive:
+			durableGone++
+		case p.deadline > 0 && alive:
+			expiredAlive++
+		default:
+			expiredGone++
+		}
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "category\tcount")
+	fmt.Fprintf(tw, "temporary, past deadline, physically gone\t%d\n", expiredGone)
+	fmt.Fprintf(tw, "temporary, past deadline, still alive (MUST be 0)\t%d\n", expiredAlive)
+	fmt.Fprintf(tw, "durable, still alive (MUST equal durable writes)\t%d\n", durableAlive)
+	fmt.Fprintf(tw, "durable, lost (MUST be 0)\t%d\n", durableGone)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	s := c.Stats()
+	fmt.Fprintf(w, "chain head=%d expired_counter=%d live_blocks=%d (self-cleaning, §IV-D.4)\n",
+		head, s.ExpiredEntries, s.LiveBlocks)
+	if expiredAlive != 0 || durableGone != 0 {
+		return fmt.Errorf("TTL invariant violated: expiredAlive=%d durableGone=%d", expiredAlive, durableGone)
+	}
+	return nil
+}

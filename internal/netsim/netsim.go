@@ -1,0 +1,317 @@
+// Package netsim is an in-memory message-passing network substrate for
+// the anchor-node simulations.
+//
+// The paper's prototype used CORBA middleware between Python and Java
+// processes; the concept itself is transport-independent (§IV, §VI). This
+// substrate provides the same facility — unicast and broadcast between
+// named endpoints — plus the failure injection the evaluation discussion
+// needs: latency, probabilistic drops, and network partitions (for the
+// node-isolation discussion of §V-B.4).
+//
+// Delivery is asynchronous: each endpoint owns a queue drained by a
+// dedicated goroutine, so handlers may send without deadlocking. With
+// zero latency and drop rate the network is deterministic: messages from
+// one sender arrive in send order.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the network.
+var (
+	ErrClosed        = errors.New("netsim: network closed")
+	ErrUnknownTarget = errors.New("netsim: unknown endpoint")
+	ErrDuplicateName = errors.New("netsim: endpoint name taken")
+)
+
+// Message is one delivered datagram.
+type Message struct {
+	// From and To are endpoint names.
+	From, To string
+	// Kind is an application-defined message type tag.
+	Kind string
+	// Payload is the opaque message body.
+	Payload []byte
+}
+
+// Handler consumes messages delivered to an endpoint. Handlers run on the
+// endpoint's delivery goroutine, one message at a time.
+type Handler func(Message)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency delays every delivery; zero keeps the network synchronous
+	// enough for deterministic tests.
+	Latency time.Duration
+	// DropRate is the probability in [0,1) of silently dropping a
+	// message (broadcast copies drop independently).
+	DropRate float64
+	// Seed drives the deterministic drop decisions.
+	Seed int64
+	// QueueSize bounds each endpoint's inbox (default 1024).
+	QueueSize int
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// Network routes messages between named endpoints.
+type Network struct {
+	mu        sync.Mutex
+	cfg       Config
+	endpoints map[string]*Endpoint
+	groups    map[string]int // partition group per endpoint; same group = reachable
+	rng       *rand.Rand
+	stats     Stats
+	closed    bool
+	wg        sync.WaitGroup
+	// inFlight counts messages from the moment they are accepted for
+	// delivery until their handler returns (covering latency delay, inbox
+	// residence, and handler execution); Flush waits for it to hit zero.
+	inFlight atomic.Int64
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	return &Network{
+		cfg:       cfg,
+		endpoints: make(map[string]*Endpoint),
+		groups:    make(map[string]int),
+		rng:       rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // simulation determinism, not crypto
+	}
+}
+
+// Endpoint is one attached participant.
+type Endpoint struct {
+	name    string
+	net     *Network
+	inbox   chan Message
+	handler Handler
+	done    chan struct{}
+}
+
+// Join attaches a named endpoint with the given handler.
+func (n *Network) Join(name string, handler Handler) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	ep := &Endpoint{
+		name:    name,
+		net:     n,
+		inbox:   make(chan Message, n.cfg.QueueSize),
+		handler: handler,
+		done:    make(chan struct{}),
+	}
+	n.endpoints[name] = ep
+	n.groups[name] = 0
+	n.wg.Add(1)
+	go ep.run(&n.wg)
+	return ep, nil
+}
+
+func (ep *Endpoint) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	handle := func(msg Message) {
+		defer ep.net.inFlight.Add(-1) // accepted at send time
+		ep.handler(msg)
+	}
+	for {
+		select {
+		case msg := <-ep.inbox:
+			handle(msg)
+		case <-ep.done:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case msg := <-ep.inbox:
+					handle(msg)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Name returns the endpoint name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Send sends a unicast message from this endpoint.
+func (ep *Endpoint) Send(to, kind string, payload []byte) error {
+	return ep.net.send(ep.name, to, kind, payload)
+}
+
+// Broadcast sends to every other endpoint reachable from this one.
+func (ep *Endpoint) Broadcast(kind string, payload []byte) {
+	ep.net.broadcast(ep.name, kind, payload)
+}
+
+func (n *Network) send(from, to, kind string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	target, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownTarget, to)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(payload))
+	if n.groups[from] != n.groups[to] {
+		// Partitioned: message silently lost, like a real partition.
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	latency := n.cfg.Latency
+	n.mu.Unlock()
+
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
+	n.inFlight.Add(1) // released by the receiver's handler (or on drop)
+	deliver := func() error {
+		select {
+		case target.inbox <- msg:
+			n.mu.Lock()
+			n.stats.Delivered++
+			n.mu.Unlock()
+			return nil
+		case <-target.done:
+			n.inFlight.Add(-1) // receiver left; treat as drop
+			return nil
+		}
+	}
+	if latency == 0 {
+		return deliver()
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		time.Sleep(latency)
+		_ = deliver()
+	}()
+	return nil
+}
+
+func (n *Network) broadcast(from, kind string, payload []byte) {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		if name != from {
+			names = append(names, name)
+		}
+	}
+	n.mu.Unlock()
+	for _, to := range names {
+		// Errors (unknown target after a concurrent leave) are ignored;
+		// broadcast is best-effort like UDP gossip.
+		_ = n.send(from, to, kind, payload)
+	}
+}
+
+// Partition splits the endpoints into isolated groups. Endpoints not
+// mentioned in any group join group 0. Messages only flow within a group
+// (the eclipse/isolation scenario of §V-B.4).
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name := range n.groups {
+		n.groups[name] = 0
+	}
+	for i, group := range groups {
+		for _, name := range group {
+			n.groups[name] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name := range n.groups {
+		n.groups[name] = 0
+	}
+}
+
+// SetDropRate changes the drop probability.
+func (n *Network) SetDropRate(r float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DropRate = r
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Names returns the attached endpoint names.
+func (n *Network) Names() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close shuts the network down and waits for all deliveries to finish.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		close(ep.done)
+	}
+	n.wg.Wait()
+}
+
+// Flush blocks until all queues are empty and no handler or delayed
+// delivery is in flight, i.e. the network reached quiescence. Tests use
+// it instead of sleeping.
+func (n *Network) Flush() {
+	for !n.quiet() {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (n *Network) quiet() bool {
+	return n.inFlight.Load() == 0
+}

@@ -1,0 +1,334 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector records delivered messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collector) handle(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) last() (Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.msgs) == 0 {
+		return Message{}, false
+	}
+	return c.msgs[len(c.msgs)-1], true
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "ping", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	msg, ok := got.last()
+	if !ok {
+		t.Fatal("no message delivered")
+	}
+	if msg.From != "a" || msg.To != "b" || msg.Kind != "ping" || string(msg.Payload) != "hello" {
+		t.Errorf("msg = %+v", msg)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	n := New(Config{})
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", "x", nil); !errors.Is(err, ErrUnknownTarget) {
+		t.Errorf("err = %v, want ErrUnknownTarget", err)
+	}
+	if _, err := n.Join("a", func(Message) {}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("err = %v, want ErrDuplicateName", err)
+	}
+	n.Close()
+	if err := a.Send("a", "x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err after close = %v, want ErrClosed", err)
+	}
+	if _, err := n.Join("c", func(Message) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("join after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var b, c collector
+	var selfCount atomic.Int64
+	a, err := n.Join("a", func(Message) { selfCount.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", b.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("c", c.handle); err != nil {
+		t.Fatal(err)
+	}
+	a.Broadcast("gossip", []byte("x"))
+	n.Flush()
+	if b.count() != 1 || c.count() != 1 {
+		t.Errorf("deliveries b=%d c=%d, want 1 each", b.count(), c.count())
+	}
+	if selfCount.Load() != 0 {
+		t.Error("broadcast delivered to sender")
+	}
+}
+
+func TestFIFOOrderPerSenderPair(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := a.Send("b", "seq", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Flush()
+	got.mu.Lock()
+	defer got.mu.Unlock()
+	if len(got.msgs) != 100 {
+		t.Fatalf("%d messages, want 100", len(got.msgs))
+	}
+	for i, m := range got.msgs {
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("message %d out of order (payload %d)", i, m.Payload[0])
+		}
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]string{"b"})
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if got.count() != 0 {
+		t.Error("message crossed partition")
+	}
+	stats := n.Stats()
+	if stats.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", stats.Dropped)
+	}
+	n.Heal()
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if got.count() != 1 {
+		t.Error("message lost after heal")
+	}
+	// Same-group members of a named partition still talk to each other.
+	n.Partition([]string{"a", "b"})
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if got.count() != 2 {
+		t.Error("same-partition message lost")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Config{DropRate: 1.0, Seed: 42})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", "x", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Flush()
+	if got.count() != 0 {
+		t.Errorf("%d messages delivered at drop rate 1.0", got.count())
+	}
+	n.SetDropRate(0)
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if got.count() != 1 {
+		t.Error("message lost at drop rate 0")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(Config{Latency: 20 * time.Millisecond})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if got.count() != 1 {
+		t.Fatal("message not delivered")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestHandlersMaySendWithoutDeadlock(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var final collector
+	// a -> b -> c chain: b's handler forwards.
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Join("b", func(m Message) {
+		_ = a // silence unused in closure pattern
+	})
+	_ = b
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-join with forwarding handler requires a fresh network; instead
+	// wire the forwarding through a third endpoint.
+	nfwd := New(Config{})
+	defer nfwd.Close()
+	src, err := nfwd.Join("src", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hop *Endpoint
+	hop, err = nfwd.Join("hop", func(m Message) {
+		if m.Kind == "fwd" {
+			_ = hop.Send("dst", "done", m.Payload)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nfwd.Join("dst", final.handle); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send("hop", "fwd", []byte("relay")); err != nil {
+		t.Fatal(err)
+	}
+	nfwd.Flush()
+	if final.count() != 1 {
+		t.Error("relayed message not delivered")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "x", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	s := n.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.Bytes != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNamesAndEndpointName(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	ep, err := n.Join("solo", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Name() != "solo" {
+		t.Errorf("Name = %q", ep.Name())
+	}
+	names := n.Names()
+	if len(names) != 1 || names[0] != "solo" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCloseIsIdempotentAndWaits(t *testing.T) {
+	n := New(Config{Latency: 5 * time.Millisecond})
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", "x", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	n.Close() // idempotent
+	// After Close returns, no goroutines are running; whatever was
+	// delivered was handled without panic. (Messages in flight during
+	// shutdown may be dropped; that is acceptable UDP-like behaviour.)
+}

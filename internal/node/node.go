@@ -1,0 +1,612 @@
+// Package node implements anchor nodes: the quorum members that "manage
+// the full copy of the blockchain" (§IV-A), extend their consensus engine
+// with the summary-block behaviour (§IV-B), vote on Genesis-marker shifts
+// (§IV-C), and serve the current status quo to clients so isolated
+// participants can recover (§V-B.4).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/netsim"
+	"github.com/seldel/seldel/internal/wire"
+)
+
+// Config assembles an anchor node.
+type Config struct {
+	// Key is the node's network identity; it must be registered in the
+	// chain registry (the quorum's "master signature" role, §IV-D.1).
+	Key *identity.KeyPair
+	// Chain is the chain configuration. Every quorum member must use
+	// identical parameters, or summaries diverge.
+	Chain chain.Config
+	// Engine seals and verifies normal blocks.
+	Engine consensus.Engine
+	// Quorum is the anchor-node set voting on marker shifts.
+	Quorum *consensus.Quorum
+	// Network connects the node to its peers.
+	Network *netsim.Network
+}
+
+// ErrSummaryPending is returned by Propose while the quorum vote for the
+// due summary block is still incomplete (e.g. votes were lost on a lossy
+// network); the node re-announces its vote and the caller retries once
+// the network settles.
+var ErrSummaryPending = errors.New("node: summary vote pending")
+
+// voteState tracks the quorum votes for one pending summary block.
+type voteState struct {
+	counts    map[codec.Hash]int
+	voted     map[string]bool
+	localHash codec.Hash
+	localSet  bool
+	applied   bool
+}
+
+// Node is one anchor node.
+type Node struct {
+	mu       sync.Mutex
+	name     string
+	key      *identity.KeyPair
+	chain    *chain.Chain // guarded by mu for the rare status-quo adoption swap
+	chainCfg chain.Config // engine-wired config, reused by Restore on adoption
+	engine   consensus.Engine
+	quorum   *consensus.Quorum
+	ep       *netsim.Endpoint
+	mempool  []*block.Entry
+	seen     map[codec.Hash]bool // entry dedup
+	tallies  map[uint64]*voteState
+	forked   bool
+}
+
+// New creates an anchor node and joins it to the network.
+func New(cfg Config) (*Node, error) {
+	if cfg.Key == nil {
+		return nil, errors.New("node: missing key")
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = consensus.NoOp{}
+	}
+	if cfg.Quorum == nil {
+		q, err := consensus.NewQuorum([]string{cfg.Key.Name()})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Quorum = q
+	}
+	chainCfg := cfg.Chain
+	consensus.Configure(&chainCfg, cfg.Engine)
+	c, err := chain.New(chainCfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		name:     cfg.Key.Name(),
+		key:      cfg.Key,
+		chain:    c,
+		chainCfg: chainCfg,
+		engine:   cfg.Engine,
+		quorum:   cfg.Quorum,
+		seen:     make(map[codec.Hash]bool),
+		tallies:  make(map[uint64]*voteState),
+	}
+	if cfg.Network != nil {
+		ep, err := cfg.Network.Join(n.name, n.handle)
+		if err != nil {
+			return nil, err
+		}
+		n.ep = ep
+	}
+	return n, nil
+}
+
+// Name returns the node's identity name.
+func (n *Node) Name() string { return n.name }
+
+// Chain exposes the node's chain (read-mostly; concurrent-safe). The
+// pointer may change when the node adopts a new status quo after falling
+// behind the quorum's Genesis marker.
+func (n *Node) Chain() *chain.Chain {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chain
+}
+
+// Forked reports whether the node detected divergence from the quorum.
+func (n *Node) Forked() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.forked
+}
+
+// MempoolSize returns the number of pending entries.
+func (n *Node) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// handle dispatches incoming network messages. It runs on the endpoint's
+// delivery goroutine.
+func (n *Node) handle(msg netsim.Message) {
+	env, err := wire.OpenEnvelope(n.Chain().Registry(), msg.Payload)
+	if err != nil {
+		return // unauthenticated message: drop
+	}
+	switch env.Kind {
+	case wire.KindEntry:
+		n.handleEntry(env)
+	case wire.KindBlock:
+		n.handleBlock(env)
+	case wire.KindVote:
+		n.handleVote(env)
+	case wire.KindStatusReq:
+		n.handleStatusReq(env)
+	case wire.KindLookupReq:
+		n.handleLookupReq(env)
+	case wire.KindSyncReq:
+		n.handleSyncReq(env)
+	case wire.KindSyncResp:
+		n.handleSyncResp(env)
+	}
+}
+
+func (n *Node) handleEntry(env wire.Envelope) {
+	e, err := block.DecodeEntry(env.Body)
+	if err != nil {
+		return
+	}
+	n.AddToMempool(e)
+}
+
+// AddToMempool queues an entry for inclusion in the next proposed block.
+// Duplicates (by content hash) are ignored.
+func (n *Node) AddToMempool(e *block.Entry) {
+	if err := e.CheckShape(); err != nil {
+		return
+	}
+	if err := n.Chain().Registry().Verify(e.Owner, e.SigningBytes(), e.Signature); err != nil {
+		return
+	}
+	h := e.Hash()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seen[h] {
+		return
+	}
+	n.seen[h] = true
+	n.mempool = append(n.mempool, e)
+}
+
+// takeMempool removes and returns the current mempool in deterministic
+// (content-hash) order, skipping entries that became invalid against the
+// current chain state.
+func (n *Node) takeMempool() []*block.Entry {
+	n.mu.Lock()
+	pending := n.mempool
+	n.mempool = nil
+	n.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool {
+		hi, hj := pending[i].Hash(), pending[j].Hash()
+		return string(hi[:]) < string(hj[:])
+	})
+	return pending
+}
+
+// Propose builds, seals, appends, and gossips a block holding the
+// pending mempool entries, then initiates the summary vote when the next
+// slot is a summary slot. The test harness and the demo CLI drive this
+// explicitly so simulations stay deterministic.
+func (n *Node) Propose() (*block.Block, error) {
+	c := n.Chain()
+	if c.NextIsSummary() {
+		// The summary vote has not completed (lost votes). Re-announce
+		// ours; peers answer with theirs, repairing the tally.
+		n.afterAppend()
+		return nil, ErrSummaryPending
+	}
+	entries := n.takeMempool()
+	valid := entries[:0]
+	for _, e := range entries {
+		// Drop entries that no longer validate (e.g. a dependency became
+		// marked since submission).
+		if err := c.ValidateEntries([]*block.Entry{e}); err == nil {
+			valid = append(valid, e)
+		}
+	}
+	b, err := c.BuildNormal(valid)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.engine.Seal(b); err != nil {
+		return nil, fmt.Errorf("node: seal: %w", err)
+	}
+	if err := c.AppendBlock(b); err != nil {
+		return nil, err
+	}
+	if n.ep != nil {
+		n.ep.Broadcast(wire.KindBlock, wire.SealEnvelope(n.key, wire.KindBlock, b.Encode()))
+	}
+	n.afterAppend()
+	return b, nil
+}
+
+func (n *Node) handleBlock(env wire.Envelope) {
+	b, err := block.DecodeBlock(env.Body)
+	if err != nil {
+		return
+	}
+	c := n.Chain()
+	if err := c.AppendBlock(b); err != nil {
+		// A gap means we fell behind (e.g. a healed partition): ask the
+		// sender for the missing suffix (§V-B.4 recovery via anchors).
+		if errors.Is(err, chain.ErrNotNext) && b.Header.Number > c.Head().Number+1 {
+			n.requestSync(env.Sender)
+		}
+		// Otherwise: stale or conflicting block. A summary mismatch means
+		// WE may be the forked party only if the majority agrees with the
+		// sender; that is decided by the vote, not here.
+		return
+	}
+	n.removeFromMempool(b.Entries)
+	n.afterAppend()
+}
+
+// requestSync asks peer for everything after our head.
+func (n *Node) requestSync(peer string) {
+	if n.ep == nil {
+		return
+	}
+	body := wire.EncodeSyncReq(wire.SyncReqPayload{HeadNumber: n.Chain().Head().Number})
+	_ = n.ep.Send(peer, wire.KindSyncReq, wire.SealEnvelope(n.key, wire.KindSyncReq, body))
+}
+
+func (n *Node) handleSyncReq(env wire.Envelope) {
+	if n.ep == nil {
+		return
+	}
+	req, err := wire.DecodeSyncReq(env.Body)
+	if err != nil {
+		return
+	}
+	c := n.Chain()
+	resp := wire.SyncRespPayload{}
+	from := req.HeadNumber + 1
+	if from < c.Marker() {
+		// The requester's continuation point was already truncated away;
+		// it must adopt the full live chain as its new status quo (the
+		// marker block "is a trusted anchor … already approved by the
+		// anchor nodes", §IV-C).
+		resp.Replace = true
+		from = c.Marker()
+	}
+	for _, b := range c.Blocks() {
+		if b.Header.Number >= from {
+			resp.Blocks = append(resp.Blocks, b.Encode())
+		}
+	}
+	if len(resp.Blocks) == 0 {
+		return
+	}
+	_ = n.ep.Send(env.Sender, wire.KindSyncResp,
+		wire.SealEnvelope(n.key, wire.KindSyncResp, wire.EncodeSyncResp(resp)))
+}
+
+func (n *Node) handleSyncResp(env wire.Envelope) {
+	// Only quorum members are trusted for catch-up data.
+	if !n.quorum.Contains(env.Sender) {
+		return
+	}
+	resp, err := wire.DecodeSyncResp(env.Body)
+	if err != nil || len(resp.Blocks) == 0 {
+		return
+	}
+	blocks := make([]*block.Block, 0, len(resp.Blocks))
+	for _, raw := range resp.Blocks {
+		b, err := block.DecodeBlock(raw)
+		if err != nil {
+			return
+		}
+		blocks = append(blocks, b)
+	}
+	if resp.Replace {
+		n.adoptStatusQuo(blocks)
+		return
+	}
+	c := n.Chain()
+	for _, b := range blocks {
+		if err := c.AppendBlock(b); err != nil {
+			return // stale or diverged; a later gossip round retries
+		}
+	}
+	n.afterAppend()
+}
+
+// adoptStatusQuo replaces the local chain with the quorum's live suffix.
+// The restored chain is structurally re-validated by Restore; adoption
+// only happens when it is strictly ahead of the local head. (A hardened
+// deployment would additionally require quorum signatures over the
+// status quo; the simulator trusts authenticated quorum members.)
+func (n *Node) adoptStatusQuo(blocks []*block.Block) {
+	restored, err := chain.Restore(n.chainCfg, blocks)
+	if err != nil {
+		return
+	}
+	if err := restored.VerifyIntegrity(); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if restored.Head().Number <= n.chain.Head().Number {
+		n.mu.Unlock()
+		return
+	}
+	n.chain = restored
+	n.tallies = make(map[uint64]*voteState)
+	n.forked = false
+	n.mu.Unlock()
+}
+
+// removeFromMempool drops entries that were included in a block another
+// node proposed.
+func (n *Node) removeFromMempool(included []*block.Entry) {
+	if len(included) == 0 {
+		return
+	}
+	drop := make(map[codec.Hash]bool, len(included))
+	for _, e := range included {
+		drop[e.Hash()] = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.mempool[:0]
+	for _, e := range n.mempool {
+		if !drop[e.Hash()] {
+			kept = append(kept, e)
+		}
+	}
+	n.mempool = kept
+}
+
+// afterAppend starts the summary-vote round if a summary slot is due.
+func (n *Node) afterAppend() {
+	c := n.Chain()
+	if !c.NextIsSummary() {
+		return
+	}
+	local, err := c.BuildSummary()
+	if err != nil {
+		return
+	}
+	num := local.Header.Number
+	marker := c.Marker() // marker before the shift; vote carries it for audit
+	vote := wire.VotePayload{Number: num, Hash: local.Hash(), Marker: marker, Approve: true}
+
+	n.mu.Lock()
+	st := n.talliesFor(num)
+	st.localHash = local.Hash()
+	st.localSet = true
+	n.mu.Unlock()
+
+	if n.ep != nil {
+		n.ep.Broadcast(wire.KindVote, wire.SealEnvelope(n.key, wire.KindVote, wire.EncodeVote(vote)))
+	}
+	n.recordVote(n.name, vote)
+}
+
+func (n *Node) talliesFor(num uint64) *voteState {
+	st, ok := n.tallies[num]
+	if !ok {
+		st = &voteState{
+			counts: make(map[codec.Hash]int),
+			voted:  make(map[string]bool),
+		}
+		n.tallies[num] = st
+	}
+	return st
+}
+
+func (n *Node) handleVote(env wire.Envelope) {
+	v, err := wire.DecodeVote(env.Body)
+	if err != nil || !v.Approve {
+		return
+	}
+	if !n.quorum.Contains(env.Sender) {
+		return
+	}
+	n.recordVote(env.Sender, v)
+	// A vote for a round beyond our head means we missed blocks: sync.
+	if v.Number > n.Chain().Head().Number+1 {
+		n.requestSync(env.Sender)
+		return
+	}
+	// Answer announcements (never answers): repairs lost votes. Repair
+	// votes themselves are counted above but not answered, so the repair
+	// protocol cannot loop.
+	if !v.Repair {
+		n.answerVote(env.Sender, v.Number)
+	}
+}
+
+// answerVote unicasts our own vote for round num back to peer, marked as
+// a repair answer.
+func (n *Node) answerVote(peer string, num uint64) {
+	if n.ep == nil {
+		return
+	}
+	n.mu.Lock()
+	st := n.tallies[num]
+	send := st != nil && st.localSet
+	var local codec.Hash
+	if send {
+		local = st.localHash
+	}
+	n.mu.Unlock()
+	if !send {
+		return
+	}
+	vote := wire.VotePayload{
+		Number: num, Hash: local, Marker: n.Chain().Marker(),
+		Approve: true, Repair: true,
+	}
+	_ = n.ep.Send(peer, wire.KindVote, wire.SealEnvelope(n.key, wire.KindVote, wire.EncodeVote(vote)))
+}
+
+func (n *Node) recordVote(sender string, v wire.VotePayload) {
+	n.mu.Lock()
+	st := n.talliesFor(v.Number)
+	if st.voted[sender] {
+		n.mu.Unlock()
+		return
+	}
+	st.voted[sender] = true
+	st.counts[v.Hash]++
+	n.mu.Unlock()
+	n.maybeApplySummary(v.Number)
+}
+
+// maybeApplySummary appends the locally built summary once a quorum
+// majority voted for the same hash. A majority on a different hash means
+// this node's state diverged: it marks itself forked (§IV-B: "In case of
+// a failure, the hash of the blocks are different, which would result in
+// a fork").
+func (n *Node) maybeApplySummary(num uint64) {
+	n.mu.Lock()
+	st := n.tallies[num]
+	if st == nil || st.applied || !st.localSet {
+		n.mu.Unlock()
+		return
+	}
+	threshold := n.quorum.Threshold()
+	var winner codec.Hash
+	decided := false
+	for h, count := range st.counts {
+		if count >= threshold {
+			winner, decided = h, true
+			break
+		}
+	}
+	if !decided {
+		n.mu.Unlock()
+		return
+	}
+	st.applied = true
+	local := st.localHash
+	n.mu.Unlock()
+
+	if winner != local {
+		n.mu.Lock()
+		n.forked = true
+		n.mu.Unlock()
+		return
+	}
+	c := n.Chain()
+	summary, err := c.BuildSummary()
+	if err != nil {
+		return // already appended via another path
+	}
+	if summary.Hash() != winner {
+		n.mu.Lock()
+		n.forked = true
+		n.mu.Unlock()
+		return
+	}
+	_ = c.AppendBlock(summary)
+	// Clean up old tallies to bound memory.
+	n.mu.Lock()
+	for old := range n.tallies {
+		if old+16 < num {
+			delete(n.tallies, old)
+		}
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) handleStatusReq(env wire.Envelope) {
+	req := codec.NewDecoder(env.Body)
+	reqID := req.Uint64()
+	if req.Finish() != nil {
+		return
+	}
+	c := n.Chain()
+	head := c.Head()
+	n.mu.Lock()
+	forked := n.forked
+	n.mu.Unlock()
+	resp := wire.StatusPayload{
+		ReqID:      reqID,
+		HeadNumber: head.Number,
+		HeadHash:   head.Hash(),
+		Marker:     c.Marker(),
+		Forked:     forked,
+	}
+	if n.ep != nil {
+		_ = n.ep.Send(env.Sender, wire.KindStatusResp, wire.SealEnvelope(n.key, wire.KindStatusResp, wire.EncodeStatus(resp)))
+	}
+}
+
+func (n *Node) handleLookupReq(env wire.Envelope) {
+	req, err := wire.DecodeLookupReq(env.Body)
+	if err != nil || n.ep == nil {
+		return
+	}
+	resp := n.buildLookupResp(req)
+	_ = n.ep.Send(env.Sender, wire.KindLookupResp, wire.SealEnvelope(n.key, wire.KindLookupResp, wire.EncodeLookupResp(resp)))
+}
+
+func (n *Node) buildLookupResp(req wire.LookupReqPayload) wire.LookupRespPayload {
+	resp := wire.LookupRespPayload{ReqID: req.ReqID}
+	c := n.Chain()
+	ref := block.Ref{Block: req.RefBlock, Entry: req.RefEntry}
+	entry, loc, ok := c.Lookup(ref)
+	if !ok {
+		return resp
+	}
+	holder, ok := c.Block(loc.Block)
+	if !ok {
+		return resp
+	}
+	proof, err := holder.EntryProof(loc.Index)
+	if err != nil {
+		return resp
+	}
+	resp.Found = true
+	resp.Entry = entry.Encode()
+	resp.Carried = loc.Carried
+	resp.HolderBlock = holder.Header.Encode()
+	resp.LeafIndex = uint32(proof.Index)
+	resp.LeafCount = uint32(proof.LeafCount)
+	for _, sib := range proof.Siblings {
+		resp.ProofSibs = append(resp.ProofSibs, append([]byte(nil), sib[:]...))
+	}
+	if loc.Carried {
+		resp.LeafBytes = holder.Carried[loc.Index].Encode()
+	} else {
+		resp.LeafBytes = holder.Entries[loc.Index].Encode()
+	}
+	return resp
+}
+
+// SubmitLocal queues an entry as if received from a client and gossips
+// it to the peer anchors.
+func (n *Node) SubmitLocal(e *block.Entry) {
+	n.AddToMempool(e)
+	if n.ep != nil {
+		n.ep.Broadcast(wire.KindEntry, wire.SealEnvelope(n.key, wire.KindEntry, e.Encode()))
+	}
+}
+
+// CorruptForTest mutates the node's deletion-mark state so its next
+// summary diverges — used by the fork-detection tests (E11) to model a
+// faulty or malicious node. It marks the given ref deleted without any
+// authorization.
+func (n *Node) CorruptForTest(ref block.Ref) {
+	n.Chain().InjectMarkForTest(ref)
+}

@@ -1,0 +1,329 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file implements the YAML subset used for schema documents. The
+// paper (§V) specifies entry structure "beforehand by a YAML schema"; the
+// subset implemented here covers indentation-based mappings, lists of
+// mappings, scalars (plain or double-quoted), and '#' comments — enough
+// for schema documents while staying stdlib-only.
+
+// Node is a parsed YAML-subset value: a scalar string, a mapping, or a
+// sequence.
+type Node struct {
+	// Kind discriminates the union.
+	Kind NodeKind
+	// Scalar holds the value for KindScalar.
+	Scalar string
+	// Map holds key→child for KindMap. Keys preserves insertion order.
+	Map  map[string]*Node
+	Keys []string
+	// List holds the items for KindList.
+	List []*Node
+	// Line is the 1-based source line the node started on (for errors).
+	Line int
+}
+
+// NodeKind identifies the variant held by a Node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindScalar NodeKind = iota + 1
+	KindMap
+	KindList
+)
+
+// ErrSyntax wraps all parse errors.
+var ErrSyntax = errors.New("schema: yaml syntax error")
+
+func syntaxErr(line int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrSyntax, line, fmt.Sprintf(format, args...))
+}
+
+type yamlLine struct {
+	num    int // 1-based line number
+	indent int // count of leading spaces
+	text   string
+}
+
+// lexLines strips comments and blank lines and measures indentation.
+func lexLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		if strings.ContainsRune(raw, '\t') {
+			return nil, syntaxErr(num, "tabs are not allowed for indentation")
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimRight(text, " ")
+		indent := len(trimmed) - len(strings.TrimLeft(trimmed, " "))
+		body := strings.TrimSpace(trimmed)
+		if body == "" {
+			continue
+		}
+		out = append(out, yamlLine{num: num, indent: indent, text: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment that is not inside a
+// double-quoted scalar.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			// A backslash-escaped quote stays inside the scalar.
+			if i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// ParseYAML parses a YAML-subset document into a Node tree. The top level
+// must be a mapping.
+func ParseYAML(src string) (*Node, error) {
+	lines, err := lexLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, syntaxErr(1, "empty document")
+	}
+	p := &yamlParser{lines: lines}
+	node, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, syntaxErr(p.lines[p.pos].num, "unexpected de-indented content")
+	}
+	if node.Kind != KindMap {
+		return nil, syntaxErr(lines[0].num, "document root must be a mapping")
+	}
+	return node, nil
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func (p *yamlParser) peek() (yamlLine, bool) {
+	if p.pos >= len(p.lines) {
+		return yamlLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses a mapping or list whose items sit at exactly `indent`.
+func (p *yamlParser) parseBlock(indent int) (*Node, error) {
+	first, ok := p.peek()
+	if !ok {
+		return nil, syntaxErr(0, "unexpected end of document")
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseMap(indent int) (*Node, error) {
+	node := &Node{Kind: KindMap, Map: make(map[string]*Node)}
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent < indent {
+			return node, nil
+		}
+		if ln.indent > indent {
+			return nil, syntaxErr(ln.num, "unexpected indentation (got %d, expected %d)", ln.indent, indent)
+		}
+		if node.Line == 0 {
+			node.Line = ln.num
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, syntaxErr(ln.num, "list item in mapping context")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := node.Map[key]; dup {
+			return nil, syntaxErr(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		var child *Node
+		if rest != "" {
+			scalar, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			child = &Node{Kind: KindScalar, Scalar: scalar, Line: ln.num}
+		} else {
+			next, ok := p.peek()
+			if !ok || next.indent <= indent {
+				// "key:" with nothing nested — empty scalar.
+				child = &Node{Kind: KindScalar, Scalar: "", Line: ln.num}
+			} else {
+				child, err = p.parseBlock(next.indent)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		node.Map[key] = child
+		node.Keys = append(node.Keys, key)
+	}
+}
+
+func (p *yamlParser) parseList(indent int) (*Node, error) {
+	node := &Node{Kind: KindList}
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent < indent {
+			return node, nil
+		}
+		if ln.indent > indent {
+			return nil, syntaxErr(ln.num, "unexpected indentation in list")
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, syntaxErr(ln.num, "expected list item, got %q", ln.text)
+		}
+		if node.Line == 0 {
+			node.Line = ln.num
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		// The item body behaves as if it started at indent+2.
+		itemIndent := indent + 2
+		if body == "" {
+			// "-" alone: nested block follows.
+			p.pos++
+			next, ok := p.peek()
+			if !ok || next.indent < itemIndent {
+				node.List = append(node.List, &Node{Kind: KindScalar, Scalar: "", Line: ln.num})
+				continue
+			}
+			child, err := p.parseBlock(next.indent)
+			if err != nil {
+				return nil, err
+			}
+			node.List = append(node.List, child)
+			continue
+		}
+		if isKeyValue(body) {
+			// Inline map item: rewrite the current line as the first key
+			// of a mapping at itemIndent and parse the mapping.
+			p.lines[p.pos] = yamlLine{num: ln.num, indent: itemIndent, text: body}
+			child, err := p.parseMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			node.List = append(node.List, child)
+			continue
+		}
+		// Scalar list item.
+		p.pos++
+		scalar, err := parseScalar(body, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		node.List = append(node.List, &Node{Kind: KindScalar, Scalar: scalar, Line: ln.num})
+	}
+}
+
+// isKeyValue reports whether body looks like "key:" or "key: value" with a
+// plain (unquoted) key.
+func isKeyValue(body string) bool {
+	idx := strings.Index(body, ":")
+	if idx <= 0 {
+		return false
+	}
+	if strings.HasPrefix(body, "\"") {
+		return false
+	}
+	// "key:" must be followed by end or a space.
+	return idx == len(body)-1 || body[idx+1] == ' '
+}
+
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx <= 0 {
+		return "", "", syntaxErr(ln.num, "expected 'key: value', got %q", ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	if key == "" || strings.ContainsAny(key, "\"{}[]") {
+		return "", "", syntaxErr(ln.num, "invalid key %q", key)
+	}
+	rest = strings.TrimSpace(ln.text[idx+1:])
+	return key, rest, nil
+}
+
+// parseScalar handles plain scalars and double-quoted scalars with \" \\
+// \n \t escapes.
+func parseScalar(s string, line int) (string, error) {
+	if !strings.HasPrefix(s, "\"") {
+		return s, nil
+	}
+	if len(s) < 2 || !strings.HasSuffix(s, "\"") {
+		return "", syntaxErr(line, "unterminated quoted scalar %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			if c == '"' {
+				return "", syntaxErr(line, "unescaped quote inside scalar %q", s)
+			}
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", syntaxErr(line, "dangling escape in scalar %q", s)
+		}
+		switch body[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", syntaxErr(line, "unsupported escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Get returns the child node for key in a mapping node.
+func (n *Node) Get(key string) (*Node, bool) {
+	if n == nil || n.Kind != KindMap {
+		return nil, false
+	}
+	c, ok := n.Map[key]
+	return c, ok
+}
+
+// ScalarOr returns the scalar value of the child at key, or def if absent.
+func (n *Node) ScalarOr(key, def string) string {
+	c, ok := n.Get(key)
+	if !ok || c.Kind != KindScalar {
+		return def
+	}
+	return c.Scalar
+}

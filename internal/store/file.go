@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// File is a file-backed Store keeping one file per block plus a MARKER
+// file. Truncation unlinks block files, so `du` on the directory shows
+// the space reclaimed by selective deletion.
+type File struct {
+	mu     sync.Mutex
+	dir    string
+	closed bool
+}
+
+const blockFileExt = ".blk"
+
+// NewFile opens (or creates) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (f *File) Dir() string { return f.dir }
+
+func (f *File) blockPath(num uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%012d%s", num, blockFileExt))
+}
+
+// PutBlock implements Store. Writes are atomic (tmp file + rename).
+func (f *File) PutBlock(b *block.Block) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return writeAtomic(f.blockPath(b.Header.Number), b.Encode())
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// GetBlock implements Store.
+func (f *File) GetBlock(num uint64) (*block.Block, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	raw, err := os.ReadFile(f.blockPath(num))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+		}
+		return nil, fmt.Errorf("store: read block %d: %w", num, err)
+	}
+	return block.DecodeBlock(raw)
+}
+
+// DeleteBelow implements Store: unlink every block file below marker.
+func (f *File) DeleteBelow(marker uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	nums, err := f.blockNumbersLocked()
+	if err != nil {
+		return err
+	}
+	for _, num := range nums {
+		if num >= marker {
+			continue
+		}
+		if err := os.Remove(f.blockPath(num)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: delete block %d: %w", num, err)
+		}
+	}
+	return writeAtomic(filepath.Join(f.dir, "MARKER"), []byte(strconv.FormatUint(marker, 10)))
+}
+
+// Marker returns the persisted Genesis marker (0 when never truncated).
+func (f *File) Marker() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	raw, err := os.ReadFile(filepath.Join(f.dir, "MARKER"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("store: read marker: %w", err)
+	}
+	m, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: parse marker: %w", err)
+	}
+	return m, nil
+}
+
+func (f *File) blockNumbersLocked() ([]uint64, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list dir: %w", err)
+	}
+	nums := make([]uint64, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, blockFileExt) {
+			continue
+		}
+		num, err := strconv.ParseUint(strings.TrimSuffix(name, blockFileExt), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		nums = append(nums, num)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// Range implements Store.
+func (f *File) Range() (uint64, uint64, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, 0, false, ErrClosed
+	}
+	nums, err := f.blockNumbersLocked()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if len(nums) == 0 {
+		return 0, 0, false, nil
+	}
+	return nums[0], nums[len(nums)-1], true, nil
+}
+
+// LoadAll implements Store.
+func (f *File) LoadAll() ([]*block.Block, error) {
+	f.mu.Lock()
+	nums, err := f.blockNumbersLocked()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*block.Block, 0, len(nums))
+	for _, num := range nums {
+		b, err := f.GetBlock(num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// SizeBytes implements Store: total size of all block files.
+func (f *File) SizeBytes() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: list dir: %w", err)
+	}
+	var total int64
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), blockFileExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, fmt.Errorf("store: stat %s: %w", e.Name(), err)
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// Close implements Store.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+)
+
+// Recorder is a chain.Listener that mirrors every chain mutation into a
+// Store: appended blocks are persisted, truncations delete the cut
+// prefix. Errors are collected rather than panicking, since listener
+// callbacks have no error channel; check Err after critical sections.
+type Recorder struct {
+	mu    sync.Mutex
+	store Store
+	err   error
+}
+
+// NewRecorder returns a Recorder writing into s.
+func NewRecorder(s Store) *Recorder {
+	return &Recorder{store: s}
+}
+
+// OnAppend implements chain.Listener.
+func (r *Recorder) OnAppend(b *block.Block) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.err = r.store.PutBlock(b)
+}
+
+// OnTruncate implements chain.Listener.
+func (r *Recorder) OnTruncate(_, newMarker uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.err = r.store.DeleteBelow(newMarker)
+}
+
+// Err returns the first persistence error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Attach registers a Recorder on c and backfills the current live blocks
+// into s, so the store is complete from this point on.
+func Attach(c *chain.Chain, s Store) (*Recorder, error) {
+	for _, b := range c.Blocks() {
+		if err := s.PutBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.DeleteBelow(c.Marker()); err != nil {
+		return nil, err
+	}
+	r := NewRecorder(s)
+	c.AddListener(r)
+	return r, nil
+}
+
+// OpenChain restores a chain from the live blocks persisted in s and
+// attaches a Recorder so future mutations stay persisted.
+func OpenChain(cfg chain.Config, s Store) (*chain.Chain, *Recorder, error) {
+	blocks, err := s.LoadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := chain.Restore(cfg, blocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := NewRecorder(s)
+	c.AddListener(r)
+	return c, r, nil
+}

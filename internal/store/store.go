@@ -1,0 +1,163 @@
+// Package store persists the live suffix of a selective-deletion chain.
+//
+// The paper's central promise is that cut-off sequences are physically
+// deleted ("the old sequence can be cut off and deleted from the
+// blockchain", §IV-C). The file store therefore keeps one file per block
+// and deletes files on truncation, so reclaimed disk space is directly
+// observable — the growth experiments (E4) measure it.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// Errors returned by stores.
+var (
+	ErrNotFound = errors.New("store: block not found")
+	ErrClosed   = errors.New("store: closed")
+)
+
+// Store persists blocks and the Genesis marker.
+type Store interface {
+	// PutBlock persists a block (idempotent per block number).
+	PutBlock(b *block.Block) error
+	// GetBlock loads the block with the given number.
+	GetBlock(num uint64) (*block.Block, error)
+	// DeleteBelow removes every block with number < marker and persists
+	// marker as the new Genesis marker.
+	DeleteBelow(marker uint64) error
+	// Range returns the numbers of the first and last stored block.
+	// ok is false when the store is empty.
+	Range() (first, last uint64, ok bool, err error)
+	// LoadAll returns all stored blocks in ascending number order.
+	LoadAll() ([]*block.Block, error)
+	// SizeBytes returns the total persisted payload size.
+	SizeBytes() (int64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Mem is an in-memory Store, used by simulations and tests.
+type Mem struct {
+	mu     sync.RWMutex
+	blocks map[uint64][]byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blocks: make(map[uint64][]byte)}
+}
+
+// PutBlock implements Store.
+func (m *Mem) PutBlock(b *block.Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.blocks[b.Header.Number] = b.Encode()
+	return nil
+}
+
+// GetBlock implements Store.
+func (m *Mem) GetBlock(num uint64) (*block.Block, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	raw, ok := m.blocks[num]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+	}
+	return block.DecodeBlock(raw)
+}
+
+// DeleteBelow implements Store.
+func (m *Mem) DeleteBelow(marker uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for num := range m.blocks {
+		if num < marker {
+			delete(m.blocks, num)
+		}
+	}
+	return nil
+}
+
+// Range implements Store.
+func (m *Mem) Range() (uint64, uint64, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return 0, 0, false, ErrClosed
+	}
+	if len(m.blocks) == 0 {
+		return 0, 0, false, nil
+	}
+	first, last := ^uint64(0), uint64(0)
+	for num := range m.blocks {
+		if num < first {
+			first = num
+		}
+		if num > last {
+			last = num
+		}
+	}
+	return first, last, true, nil
+}
+
+// LoadAll implements Store.
+func (m *Mem) LoadAll() ([]*block.Block, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	nums := make([]uint64, 0, len(m.blocks))
+	for num := range m.blocks {
+		nums = append(nums, num)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	out := make([]*block.Block, 0, len(nums))
+	for _, num := range nums {
+		b, err := block.DecodeBlock(m.blocks[num])
+		if err != nil {
+			return nil, fmt.Errorf("store: block %d: %w", num, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// SizeBytes implements Store.
+func (m *Mem) SizeBytes() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	var total int64
+	for _, raw := range m.blocks {
+		total += int64(len(raw))
+	}
+	return total, nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.blocks = nil
+	return nil
+}

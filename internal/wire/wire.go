@@ -1,0 +1,321 @@
+// Package wire defines the signed message formats exchanged between
+// anchor nodes and clients: entry submission, block gossip, summary
+// votes, status queries, and entry lookups with inclusion proofs.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/identity"
+)
+
+// Message kinds exchanged between nodes and clients.
+const (
+	// KindEntry carries a client-submitted entry to anchor nodes.
+	KindEntry = "entry"
+	// KindBlock gossips a sealed normal block.
+	KindBlock = "block"
+	// KindVote carries a quorum vote on the next summary block and
+	// marker shift (§IV-C).
+	KindVote = "vote"
+	// KindStatusReq and KindStatusResp implement the client status-quo
+	// query (anti-eclipse anchor, §V-B.4).
+	KindStatusReq  = "status_req"
+	KindStatusResp = "status_resp"
+	// KindLookupReq and KindLookupResp resolve an entry reference with
+	// an inclusion proof.
+	KindLookupReq  = "lookup_req"
+	KindLookupResp = "lookup_resp"
+)
+
+// ErrBadEnvelope is returned when an envelope fails decoding or
+// signature verification.
+var ErrBadEnvelope = errors.New("wire: bad message envelope")
+
+const envelopeDomain = "seldel/envelope/v1"
+
+// Envelope is a signed message body. Every inter-node message travels in
+// one, so a node cannot impersonate another (the proof-of-authority
+// engine relies on this for proposer authenticity).
+type Envelope struct {
+	Sender string
+	Kind   string
+	Body   []byte
+	Sig    []byte
+}
+
+func envelopeSigningBytes(sender, kind string, body []byte) []byte {
+	e := codec.NewEncoder(64 + len(body))
+	e.String(envelopeDomain)
+	e.String(sender)
+	e.String(kind)
+	e.Bytes(body)
+	return e.Data()
+}
+
+// SealEnvelope signs body on behalf of key and encodes the envelope.
+func SealEnvelope(key *identity.KeyPair, kind string, body []byte) []byte {
+	sig := key.Sign(envelopeSigningBytes(key.Name(), kind, body))
+	e := codec.NewEncoder(128 + len(body))
+	e.String(key.Name())
+	e.String(kind)
+	e.Bytes(body)
+	e.Bytes(sig)
+	return e.Data()
+}
+
+// OpenEnvelope decodes and verifies an envelope against the registry.
+func OpenEnvelope(reg *identity.Registry, raw []byte) (Envelope, error) {
+	d := codec.NewDecoder(raw)
+	var env Envelope
+	env.Sender = d.ReadString()
+	env.Kind = d.ReadString()
+	env.Body = d.Bytes()
+	env.Sig = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return env, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if err := reg.Verify(env.Sender, envelopeSigningBytes(env.Sender, env.Kind, env.Body), env.Sig); err != nil {
+		return env, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	return env, nil
+}
+
+// VotePayload is the body of a KindVote message.
+type VotePayload struct {
+	Number  uint64     // summary block number being voted on
+	Hash    codec.Hash // locally computed summary hash
+	Marker  uint64     // resulting Genesis marker
+	Approve bool
+	// Repair marks a unicast answer to another node's (re-)announcement.
+	// Repair votes are counted but never answered, so vote repair cannot
+	// loop even on lossy networks.
+	Repair bool
+}
+
+// EncodeVote encodes a vote payload.
+func EncodeVote(v VotePayload) []byte {
+	e := codec.NewEncoder(64)
+	e.Uint64(v.Number)
+	e.Hash(v.Hash)
+	e.Uint64(v.Marker)
+	e.Bool(v.Approve)
+	e.Bool(v.Repair)
+	return e.Data()
+}
+
+// DecodeVote decodes a vote payload.
+func DecodeVote(raw []byte) (VotePayload, error) {
+	d := codec.NewDecoder(raw)
+	var v VotePayload
+	v.Number = d.Uint64()
+	v.Hash = d.Hash()
+	v.Marker = d.Uint64()
+	v.Approve = d.Bool()
+	v.Repair = d.Bool()
+	if err := d.Finish(); err != nil {
+		return v, fmt.Errorf("wire: decode vote: %w", err)
+	}
+	return v, nil
+}
+
+// StatusPayload is the body of a KindStatusResp message.
+type StatusPayload struct {
+	ReqID      uint64
+	HeadNumber uint64
+	HeadHash   codec.Hash
+	Marker     uint64
+	Forked     bool
+}
+
+func EncodeStatus(s StatusPayload) []byte {
+	e := codec.NewEncoder(64)
+	e.Uint64(s.ReqID)
+	e.Uint64(s.HeadNumber)
+	e.Hash(s.HeadHash)
+	e.Uint64(s.Marker)
+	e.Bool(s.Forked)
+	return e.Data()
+}
+
+func DecodeStatus(raw []byte) (StatusPayload, error) {
+	d := codec.NewDecoder(raw)
+	var s StatusPayload
+	s.ReqID = d.Uint64()
+	s.HeadNumber = d.Uint64()
+	s.HeadHash = d.Hash()
+	s.Marker = d.Uint64()
+	s.Forked = d.Bool()
+	if err := d.Finish(); err != nil {
+		return s, fmt.Errorf("wire: decode status: %w", err)
+	}
+	return s, nil
+}
+
+// LookupReqPayload is the body of a KindLookupReq message.
+type LookupReqPayload struct {
+	ReqID    uint64
+	RefBlock uint64
+	RefEntry uint32
+}
+
+func EncodeLookupReq(p LookupReqPayload) []byte {
+	e := codec.NewEncoder(32)
+	e.Uint64(p.ReqID)
+	e.Uint64(p.RefBlock)
+	e.Uint32(p.RefEntry)
+	return e.Data()
+}
+
+func DecodeLookupReq(raw []byte) (LookupReqPayload, error) {
+	d := codec.NewDecoder(raw)
+	var p LookupReqPayload
+	p.ReqID = d.Uint64()
+	p.RefBlock = d.Uint64()
+	p.RefEntry = d.Uint32()
+	if err := d.Finish(); err != nil {
+		return p, fmt.Errorf("wire: decode lookup request: %w", err)
+	}
+	return p, nil
+}
+
+// LookupRespPayload is the body of a KindLookupResp message. When Found,
+// it carries the entry, the header of the block currently holding it,
+// the index of the entry within that block, and a Merkle inclusion proof
+// against the header's entries root.
+type LookupRespPayload struct {
+	ReqID       uint64
+	Found       bool
+	Entry       []byte // canonical entry encoding
+	Carried     bool
+	HolderBlock []byte   // canonical header encoding of the holding block
+	LeafIndex   uint32   // index within Entries or Carried
+	LeafCount   uint32   // total leaves in the holding block
+	ProofSibs   [][]byte // Merkle proof siblings (32-byte hashes)
+	LeafBytes   []byte   // exact leaf encoding proven (entry or carried entry)
+}
+
+func EncodeLookupResp(p LookupRespPayload) []byte {
+	e := codec.NewEncoder(256)
+	e.Uint64(p.ReqID)
+	e.Bool(p.Found)
+	e.Bytes(p.Entry)
+	e.Bool(p.Carried)
+	e.Bytes(p.HolderBlock)
+	e.Uint32(p.LeafIndex)
+	e.Uint32(p.LeafCount)
+	e.Uint32(uint32(len(p.ProofSibs)))
+	for _, s := range p.ProofSibs {
+		e.Bytes(s)
+	}
+	e.Bytes(p.LeafBytes)
+	return e.Data()
+}
+
+func DecodeLookupResp(raw []byte) (LookupRespPayload, error) {
+	d := codec.NewDecoder(raw)
+	var p LookupRespPayload
+	p.ReqID = d.Uint64()
+	p.Found = d.Bool()
+	p.Entry = d.Bytes()
+	p.Carried = d.Bool()
+	p.HolderBlock = d.Bytes()
+	p.LeafIndex = d.Uint32()
+	p.LeafCount = d.Uint32()
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return p, fmt.Errorf("wire: decode lookup response: %w", err)
+	}
+	if n > 1<<16 {
+		return p, fmt.Errorf("wire: lookup response proof too large: %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		p.ProofSibs = append(p.ProofSibs, d.Bytes())
+	}
+	p.LeafBytes = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return p, fmt.Errorf("wire: decode lookup response: %w", err)
+	}
+	return p, nil
+}
+
+// Sync message kinds: catch-up for nodes that fell behind (e.g. after a
+// partition heals, §V-B.4).
+const (
+	// KindSyncReq asks a peer for the blocks after the requester's head.
+	KindSyncReq = "sync_req"
+	// KindSyncResp carries the requested blocks, or the full live chain
+	// when the requester is behind the sender's Genesis marker.
+	KindSyncResp = "sync_resp"
+)
+
+// SyncReqPayload is the body of a KindSyncReq message.
+type SyncReqPayload struct {
+	// HeadNumber is the requester's current head block number.
+	HeadNumber uint64
+}
+
+// EncodeSyncReq encodes a sync request.
+func EncodeSyncReq(p SyncReqPayload) []byte {
+	e := codec.NewEncoder(8)
+	e.Uint64(p.HeadNumber)
+	return e.Data()
+}
+
+// DecodeSyncReq decodes a sync request.
+func DecodeSyncReq(raw []byte) (SyncReqPayload, error) {
+	d := codec.NewDecoder(raw)
+	var p SyncReqPayload
+	p.HeadNumber = d.Uint64()
+	if err := d.Finish(); err != nil {
+		return p, fmt.Errorf("wire: decode sync request: %w", err)
+	}
+	return p, nil
+}
+
+// SyncRespPayload is the body of a KindSyncResp message.
+type SyncRespPayload struct {
+	// Replace is true when Blocks holds the sender's complete live chain
+	// and the requester must adopt it as its new status quo (its own
+	// history was already truncated away on the sender side).
+	Replace bool
+	// Blocks are canonical block encodings in ascending order.
+	Blocks [][]byte
+}
+
+// maxSyncBlocks bounds a sync response.
+const maxSyncBlocks = 1 << 16
+
+// EncodeSyncResp encodes a sync response.
+func EncodeSyncResp(p SyncRespPayload) []byte {
+	e := codec.NewEncoder(256)
+	e.Bool(p.Replace)
+	e.Uint32(uint32(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		e.Bytes(b)
+	}
+	return e.Data()
+}
+
+// DecodeSyncResp decodes a sync response.
+func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
+	d := codec.NewDecoder(raw)
+	var p SyncRespPayload
+	p.Replace = d.Bool()
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return p, fmt.Errorf("wire: decode sync response: %w", err)
+	}
+	if n > maxSyncBlocks {
+		return p, fmt.Errorf("wire: sync response too large: %d blocks", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		p.Blocks = append(p.Blocks, d.Bytes())
+	}
+	if err := d.Finish(); err != nil {
+		return p, fmt.Errorf("wire: decode sync response: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/identity"
+)
+
+func testRegistry(t *testing.T) (*identity.Registry, *identity.KeyPair) {
+	t.Helper()
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("node-1", "wire-test")
+	if err := reg.RegisterKey(kp, identity.RoleMaster); err != nil {
+		t.Fatal(err)
+	}
+	return reg, kp
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	reg, kp := testRegistry(t)
+	body := []byte("payload bytes")
+	raw := SealEnvelope(kp, KindBlock, body)
+	env, err := OpenEnvelope(reg, raw)
+	if err != nil {
+		t.Fatalf("OpenEnvelope: %v", err)
+	}
+	if env.Sender != "node-1" || env.Kind != KindBlock || !bytes.Equal(env.Body, body) {
+		t.Errorf("env = %+v", env)
+	}
+}
+
+func TestEnvelopeRejectsTampering(t *testing.T) {
+	reg, kp := testRegistry(t)
+	raw := SealEnvelope(kp, KindVote, []byte("vote"))
+
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := OpenEnvelope(reg, []byte{1, 2, 3}); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("flipped body byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)/2] ^= 0xFF
+		if _, err := OpenEnvelope(reg, bad); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unknown sender", func(t *testing.T) {
+		stranger := identity.Deterministic("stranger", "wire-test")
+		raw := SealEnvelope(stranger, KindVote, []byte("vote"))
+		if _, err := OpenEnvelope(reg, raw); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("kind swap breaks signature", func(t *testing.T) {
+		// Re-encode the same body+sig under a different kind.
+		env, err := OpenEnvelope(reg, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := codec.NewEncoder(128)
+		e.String(env.Sender)
+		e.String(KindBlock) // was KindVote
+		e.Bytes(env.Body)
+		e.Bytes(env.Sig)
+		if _, err := OpenEnvelope(reg, e.Data()); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestVotePayloadRoundTrip(t *testing.T) {
+	v := VotePayload{Number: 8, Hash: codec.HashBytes([]byte("s")), Marker: 6, Approve: true}
+	back, err := DecodeVote(EncodeVote(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Errorf("round trip %+v != %+v", back, v)
+	}
+	if _, err := DecodeVote([]byte{1}); err == nil {
+		t.Error("garbage vote accepted")
+	}
+	if _, err := DecodeVote(append(EncodeVote(v), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestStatusPayloadRoundTrip(t *testing.T) {
+	s := StatusPayload{ReqID: 7, HeadNumber: 42, HeadHash: codec.HashBytes([]byte("h")), Marker: 36, Forked: true}
+	back, err := DecodeStatus(EncodeStatus(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip %+v != %+v", back, s)
+	}
+	if _, err := DecodeStatus(nil); err == nil {
+		t.Error("empty status accepted")
+	}
+}
+
+func TestLookupPayloadsRoundTrip(t *testing.T) {
+	req := LookupReqPayload{ReqID: 3, RefBlock: 9, RefEntry: 2}
+	backReq, err := DecodeLookupReq(EncodeLookupReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backReq != req {
+		t.Errorf("req round trip %+v", backReq)
+	}
+
+	resp := LookupRespPayload{
+		ReqID:       3,
+		Found:       true,
+		Entry:       []byte("entry-bytes"),
+		Carried:     true,
+		HolderBlock: []byte("header-bytes"),
+		LeafIndex:   1,
+		LeafCount:   4,
+		ProofSibs:   [][]byte{bytes.Repeat([]byte{1}, 32), bytes.Repeat([]byte{2}, 32)},
+		LeafBytes:   []byte("leaf"),
+	}
+	backResp, err := DecodeLookupResp(EncodeLookupResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backResp.ReqID != resp.ReqID || !backResp.Found || !backResp.Carried {
+		t.Errorf("resp fields lost: %+v", backResp)
+	}
+	if len(backResp.ProofSibs) != 2 || !bytes.Equal(backResp.ProofSibs[1], resp.ProofSibs[1]) {
+		t.Error("proof siblings lost")
+	}
+	if !bytes.Equal(backResp.LeafBytes, resp.LeafBytes) {
+		t.Error("leaf bytes lost")
+	}
+	if _, err := DecodeLookupResp([]byte{9}); err == nil {
+		t.Error("garbage response accepted")
+	}
+}
+
+func TestLookupRespNotFound(t *testing.T) {
+	resp := LookupRespPayload{ReqID: 5}
+	back, err := DecodeLookupResp(EncodeLookupResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Found {
+		t.Error("not-found response decoded as found")
+	}
+}
+
+// Property: envelopes round-trip for arbitrary kinds and bodies.
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	reg, kp := testRegistry(t)
+	f := func(kind string, body []byte) bool {
+		raw := SealEnvelope(kp, kind, body)
+		env, err := OpenEnvelope(reg, raw)
+		if err != nil {
+			return false
+		}
+		return env.Kind == kind && bytes.Equal(env.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package seldel is a Go implementation of "Selective Deletion in a
+// Blockchain" (Hillmann, Knüpfer, Heiland, Karcher — ICDCS 2020,
+// arXiv:2101.05495): a blockchain that can forget.
+//
+// The chain is partitioned into sequences by periodically inserted,
+// deterministically computed summary blocks Σ. When the live chain
+// exceeds its configured bound, the oldest sequences are merged into the
+// newest summary block — leaving out entries whose owners requested
+// deletion, expired temporary entries, and deletion requests themselves —
+// the Genesis marker shifts forward, and the cut prefix is physically
+// deleted. References stay stable because carried entries keep their
+// original block number, timestamp, and entry number.
+//
+// # Quickstart
+//
+//	reg := seldel.NewRegistry()
+//	alice := seldel.DeterministicKey("alice", "demo")
+//	_ = reg.RegisterKey(alice, seldel.RoleUser)
+//
+//	chain, _ := seldel.NewChain(seldel.Config{
+//		SequenceLength: 3,
+//		MaxSequences:   2,
+//		Registry:       reg,
+//	})
+//	blocks, _ := chain.Commit([]*seldel.Entry{
+//		seldel.NewData("alice", []byte("hello")).Sign(alice),
+//	})
+//	ref := seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
+//	_, _ = chain.Commit([]*seldel.Entry{
+//		seldel.NewDeletion("alice", ref).Sign(alice),
+//	})
+//	// After the retention bound passes, the entry is physically gone.
+//
+// The subsystems are re-exported here so applications depend only on
+// this package: identity management and role-based authorization,
+// pluggable consensus engines (proof-of-work, proof-of-authority),
+// quorum voting, persistent stores, a network simulator with anchor
+// nodes and verifying clients, the audit-logging use case of the paper's
+// evaluation, and the baselines and attack models used by the
+// experiments.
+package seldel
+
+import (
+	"fmt"
+
+	"github.com/seldel/seldel/internal/audit"
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/client"
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/deletion"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/netsim"
+	"github.com/seldel/seldel/internal/node"
+	"github.com/seldel/seldel/internal/schema"
+	"github.com/seldel/seldel/internal/simclock"
+	"github.com/seldel/seldel/internal/store"
+)
+
+// Core chain types.
+type (
+	// Chain is a live selective-deletion blockchain.
+	Chain = chain.Chain
+	// Config parameterizes a Chain.
+	Config = chain.Config
+	// ShrinkPolicy selects how aggressively old sequences merge.
+	ShrinkPolicy = chain.ShrinkPolicy
+	// Stats is a snapshot of chain size and deletion counters.
+	Stats = chain.Stats
+	// Location says where an entry currently lives.
+	Location = chain.Location
+	// Mark is an approved, not-yet-executed deletion mark.
+	Mark = chain.Mark
+	// Listener observes chain mutations.
+	Listener = chain.Listener
+	// RenderOptions controls the paper-style console rendering.
+	RenderOptions = chain.RenderOptions
+)
+
+// Block and entry types.
+type (
+	// Block is a full block (normal or summary).
+	Block = block.Block
+	// Header is a block header.
+	Header = block.Header
+	// Entry is one record inside a block.
+	Entry = block.Entry
+	// Ref addresses an entry by (block number, entry number).
+	Ref = block.Ref
+	// CarriedEntry is an entry migrated into a summary block.
+	CarriedEntry = block.CarriedEntry
+	// SequenceRef is the Fig. 9 redundancy reference.
+	SequenceRef = block.SequenceRef
+	// Hash is a SHA-256 content hash.
+	Hash = codec.Hash
+)
+
+// Identity and authorization types.
+type (
+	// KeyPair is a named Ed25519 signing key.
+	KeyPair = identity.KeyPair
+	// Registry maps participant names to keys and roles.
+	Registry = identity.Registry
+	// Role is a participant privilege level.
+	Role = identity.Role
+	// DeletionPolicy selects requester authorization strictness.
+	DeletionPolicy = deletion.Policy
+	// AutoCohesionPolicy is the Bell-LaPadula-style automatic cohesion
+	// decision of §IV-D.2 (set Config.AutoCohesion to enable it).
+	AutoCohesionPolicy = deletion.AutoPolicy
+)
+
+// Consensus types.
+type (
+	// Engine seals and verifies normal blocks.
+	Engine = consensus.Engine
+	// Quorum is the anchor-node voting set.
+	Quorum = consensus.Quorum
+	// PoW is the proof-of-work engine.
+	PoW = consensus.PoW
+	// Authority is the round-robin proof-of-authority engine.
+	Authority = consensus.Authority
+	// NoOpEngine accepts blocks as built.
+	NoOpEngine = consensus.NoOp
+)
+
+// Distributed-deployment types.
+type (
+	// Network is the in-memory network substrate.
+	Network = netsim.Network
+	// NetworkConfig parameterizes the network simulator.
+	NetworkConfig = netsim.Config
+	// Node is an anchor node.
+	Node = node.Node
+	// NodeConfig assembles an anchor node.
+	NodeConfig = node.Config
+	// Client is a verifying light participant.
+	Client = client.Client
+	// ClientStatus is the majority status-quo answer.
+	ClientStatus = client.Status
+)
+
+// Storage types.
+type (
+	// Store persists live blocks.
+	Store = store.Store
+	// MemStore is the in-memory store.
+	MemStore = store.Mem
+	// FileStore is the file-backed store (one file per block).
+	FileStore = store.File
+)
+
+// Audit use-case types (the paper's evaluation scenario).
+type (
+	// AuditLogger writes login events to the chain.
+	AuditLogger = audit.Logger
+	// LoginEvent is one audited terminal login.
+	LoginEvent = audit.LoginEvent
+	// AuditQuery filters audit queries.
+	AuditQuery = audit.QueryOptions
+	// Schema validates entry structure (YAML-declared, §V).
+	Schema = schema.Schema
+	// Record is a typed entry payload.
+	Record = schema.Record
+)
+
+// Clock types.
+type (
+	// Clock yields logical timestamps.
+	Clock = simclock.Clock
+	// LogicalClock is the deterministic counter clock.
+	LogicalClock = simclock.Logical
+)
+
+// Roles.
+const (
+	RoleUser   = identity.RoleUser
+	RoleAdmin  = identity.RoleAdmin
+	RoleMaster = identity.RoleMaster
+)
+
+// Shrink policies (Eq. 1 iteration vs. round-robin merge of Fig. 3).
+const (
+	ShrinkMinimal      = chain.ShrinkMinimal
+	ShrinkAllButNewest = chain.ShrinkAllButNewest
+)
+
+// Deletion authorization policies (§IV-D.1).
+const (
+	PolicyOwnerOnly = deletion.PolicyOwnerOnly
+	PolicyRoleBased = deletion.PolicyRoleBased
+)
+
+// GenesisPrevHash is the previous-hash sentinel of block 0; its short
+// form renders as "DEADB" exactly as in the paper's Fig. 6.
+var GenesisPrevHash = block.GenesisPrevHash
+
+// NewChain creates a chain with a fresh genesis block.
+func NewChain(cfg Config) (*Chain, error) { return chain.New(cfg) }
+
+// RestoreChain rebuilds a chain from persisted live blocks.
+func RestoreChain(cfg Config, blocks []*Block) (*Chain, error) {
+	return chain.Restore(cfg, blocks)
+}
+
+// NewRegistry returns an empty identity registry.
+func NewRegistry() *Registry { return identity.NewRegistry() }
+
+// GenerateKey creates a fresh random key pair.
+func GenerateKey(name string) (*KeyPair, error) { return identity.Generate(name) }
+
+// DeterministicKey derives a reproducible key pair (for tests and
+// deterministic experiments).
+func DeterministicKey(name, seed string) *KeyPair { return identity.Deterministic(name, seed) }
+
+// NewData constructs an unsigned data entry; call Sign before submitting.
+func NewData(owner string, payload []byte) *Entry { return block.NewData(owner, payload) }
+
+// NewTemporary constructs an unsigned temporary entry that is forgotten
+// once the chain passes expireTime or expireBlock (§IV-D.4).
+func NewTemporary(owner string, payload []byte, expireTime, expireBlock uint64) *Entry {
+	return block.NewTemporary(owner, payload, expireTime, expireBlock)
+}
+
+// NewDeletion constructs an unsigned deletion request for target.
+func NewDeletion(requester string, target Ref) *Entry {
+	return block.NewDeletion(requester, target)
+}
+
+// NewLogicalClock returns a deterministic clock starting at start.
+func NewLogicalClock(start uint64) *LogicalClock { return simclock.NewLogical(start) }
+
+// NewWallClock returns a wall-clock adapter (Unix seconds).
+func NewWallClock() Clock { return simclock.NewWall() }
+
+// NewPoW returns a proof-of-work engine with the given difficulty bits.
+func NewPoW(bits int) *PoW { return consensus.NewPoW(bits) }
+
+// NewAuthority returns a round-robin proof-of-authority engine.
+func NewAuthority(authorities []string, self string) (*Authority, error) {
+	return consensus.NewAuthority(authorities, self)
+}
+
+// NewQuorum creates a majority-vote quorum over the given members.
+func NewQuorum(members []string) (*Quorum, error) { return consensus.NewQuorum(members) }
+
+// NewAutoCohesionPolicy builds the clearance-level automatic cohesion
+// policy (§IV-D.2); unlisted participants default to level 0.
+func NewAutoCohesionPolicy(levels map[string]int) *AutoCohesionPolicy {
+	return deletion.NewAutoPolicy(levels)
+}
+
+// UseEngine wires a consensus engine into a chain configuration.
+func UseEngine(cfg *Config, e Engine) { consensus.Configure(cfg, e) }
+
+// NewNetwork creates an in-memory network.
+func NewNetwork(cfg NetworkConfig) *Network { return netsim.New(cfg) }
+
+// NewNode creates an anchor node and joins it to its network.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// NewClient joins a verifying client to the network.
+func NewClient(key *KeyPair, reg *Registry, net *Network, anchors []string) (*Client, error) {
+	return client.New(key, reg, net, anchors)
+}
+
+// NewMemStore returns an in-memory block store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// NewFileStore opens a file-backed block store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) { return store.NewFile(dir) }
+
+// AttachStore mirrors all chain mutations into s (and backfills the
+// current live blocks).
+func AttachStore(c *Chain, s Store) error {
+	_, err := store.Attach(c, s)
+	return err
+}
+
+// OpenStoredChain restores a chain from a store and keeps it mirrored.
+func OpenStoredChain(cfg Config, s Store) (*Chain, error) {
+	c, _, err := store.OpenChain(cfg, s)
+	return c, err
+}
+
+// NewAuditLogger builds the login-audit logger of the paper's evaluation
+// scenario over an existing chain.
+func NewAuditLogger(c *Chain) (*AuditLogger, error) { return audit.NewLogger(c) }
+
+// DecodeLoginEvent parses a chain entry back into a login event.
+func DecodeLoginEvent(e *Entry) (LoginEvent, error) { return audit.Decode(e) }
+
+// AuditRenderOptions returns console-render options that decode
+// login-event payloads into the "login USER tty ok" style of the paper's
+// Figs. 6-8 (other payloads fall back to hex).
+func AuditRenderOptions() *RenderOptions {
+	return &RenderOptions{
+		ShowMarks: true,
+		PayloadText: func(p []byte) string {
+			probe := &Entry{Kind: block.KindData, Payload: p}
+			if ev, err := audit.Decode(probe); err == nil {
+				return ev.String()
+			}
+			return fmt.Sprintf("0x%x", p)
+		},
+	}
+}
+
+// ParseSchema compiles a YAML-subset schema document.
+func ParseSchema(src string) (*Schema, error) { return schema.Parse(src) }

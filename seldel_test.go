@@ -1,0 +1,152 @@
+package seldel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the doc-comment quickstart end to end
+// through the façade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	reg := NewRegistry()
+	alice := DeterministicKey("alice", "api-test")
+	if err := reg.RegisterKey(alice, RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChain(Config{
+		SequenceLength: 3,
+		MaxSequences:   2,
+		Registry:       reg,
+		Clock:          NewLogicalClock(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := c.Commit([]*Entry{NewData("alice", []byte("hello")).Sign(alice)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Ref{Block: blocks[0].Header.Number, Entry: 0}
+	if _, err := c.Commit([]*Entry{NewDeletion("alice", ref).Sign(alice)}); err != nil {
+		t.Fatal(err)
+	}
+	for c.IsMarked(ref) {
+		if _, err := c.AppendEmpty(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := c.Lookup(ref); ok {
+		t.Error("entry survived deletion")
+	}
+	if c.Stats().ForgottenEntries != 1 {
+		t.Error("forgotten counter wrong")
+	}
+}
+
+func TestPublicAPIStoreRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	alice := DeterministicKey("alice", "api-test")
+	if err := reg.RegisterKey(alice, RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SequenceLength: 3, MaxSequences: 1, Shrink: ShrinkMinimal, Registry: reg, Clock: NewLogicalClock(0)}
+	c, err := NewChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachStore(c, st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Commit([]*Entry{NewData("alice", []byte{byte(i)}).Sign(alice)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Clock = NewLogicalClock(0)
+	restored, err := OpenStoredChain(cfg2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.HeadHash() != c.HeadHash() {
+		t.Error("restored head differs")
+	}
+}
+
+func TestPublicAPIGenerateKey(t *testing.T) {
+	kp, err := GenerateKey("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp.Name() != "random" {
+		t.Errorf("Name = %q", kp.Name())
+	}
+}
+
+func TestPublicAPIEngines(t *testing.T) {
+	reg := NewRegistry()
+	alice := DeterministicKey("alice", "api-test")
+	if err := reg.RegisterKey(alice, RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SequenceLength: 3, Registry: reg, Clock: NewLogicalClock(0)}
+	UseEngine(&cfg, NewPoW(6))
+	c, err := NewChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit([]*Entry{NewData("alice", []byte("mined")).Sign(alice)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAuthority([]string{"a", "b"}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQuorum([]string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIAuditAndSchema(t *testing.T) {
+	reg := NewRegistry()
+	alice := DeterministicKey("ALPHA", "api-test")
+	if err := reg.RegisterKey(alice, RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChain(Config{SequenceLength: 3, Registry: reg, Clock: NewLogicalClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger, err := NewAuditLogger(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := logger.Log(alice, LoginEvent{User: "ALPHA", Terminal: "tty1", Success: true, At: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := c.Lookup(ref)
+	if !ok {
+		t.Fatal("login not found")
+	}
+	ev, err := DecodeLoginEvent(e)
+	if err != nil || ev.User != "ALPHA" {
+		t.Errorf("decoded %+v, %v", ev, err)
+	}
+	out := c.RenderString(AuditRenderOptions())
+	if !strings.Contains(out, "login ALPHA tty1 ok") {
+		t.Errorf("audit rendering missing decoded login:\n%s", out)
+	}
+	if _, err := ParseSchema("name: x\nfields:\n  - name: a\n    type: int\n"); err != nil {
+		t.Errorf("ParseSchema: %v", err)
+	}
+}
+
+func TestGenesisPrevHashConstant(t *testing.T) {
+	if GenesisPrevHash.Short() != "DEADB" {
+		t.Errorf("GenesisPrevHash.Short() = %q", GenesisPrevHash.Short())
+	}
+}
