@@ -5,7 +5,9 @@ package seldel
 // evaluation; the table/figure outputs come from `seldel-bench`.
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"github.com/seldel/seldel/internal/attack"
@@ -285,5 +287,43 @@ func BenchmarkVerifyIntegrity(b *testing.B) {
 		if err := c.VerifyIntegrity(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitPipeline measures the concurrent submission pipeline
+// under parallel producers (compare with BenchmarkAppendBounded, the
+// single-caller Commit baseline it replaces).
+func BenchmarkSubmitPipeline(b *testing.B) {
+	c, kp := benchChain(b, 0)
+	defer c.Close()
+	ctx := context.Background()
+	var n atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// b.Error, not b.Fatal: FailNow must not run on RunParallel
+		// worker goroutines.
+		var receipts []Receipt
+		for pb.Next() {
+			i := n.Add(1)
+			e := block.NewData("bench", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
+			rs, err := c.Submit(ctx, e)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			receipts = append(receipts, rs...)
+		}
+		for _, r := range receipts {
+			if _, err := r.Wait(ctx); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := c.PipelineStats()
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.Entries)/float64(st.Batches), "entries/block")
 	}
 }

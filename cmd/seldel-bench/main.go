@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	seldel-bench               # run everything
-//	seldel-bench -list         # list experiment ids
-//	seldel-bench -run fig7     # run one experiment
+//	seldel-bench                        # run everything
+//	seldel-bench -list                  # list experiment ids
+//	seldel-bench -run fig7              # run one experiment
+//	seldel-bench -json BENCH_PR1.json   # machine-readable pipeline bench
 package main
 
 import (
@@ -28,6 +29,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("seldel-bench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	id := fs.String("run", "", "run a single experiment by id (default: all)")
+	jsonPath := fs.String("json", "", "run the submission-pipeline benchmark and write machine-readable results to this file")
+	jsonN := fs.Int("json-entries", 4000, "entries per configuration for -json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,6 +38,18 @@ func run(args []string) error {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %-12s %s\n", e.ID, e.Paper, e.Title)
 		}
+		return nil
+	}
+	if *jsonPath != "" {
+		report, err := experiments.WritePipelineJSON(*jsonPath, *jsonN)
+		if err != nil {
+			return err
+		}
+		for _, r := range report.Results {
+			fmt.Printf("%-7s producers=%-2d entries=%-6d blocks=%-5d %10.0f ops/sec\n",
+				r.API, r.Producers, r.Entries, r.Blocks, r.OpsPerSec)
+		}
+		fmt.Printf("submit@16 vs commit@1: %.2fx — wrote %s\n", report.SpeedupX16, *jsonPath)
 		return nil
 	}
 	if *id != "" {

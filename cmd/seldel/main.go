@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -68,23 +69,26 @@ func runSingle(extra int) error {
 	if err != nil {
 		return err
 	}
-	chain, err := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   2,
-		Shrink:         seldel.ShrinkAllButNewest,
-		Registry:       s.reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, err := seldel.New(s.reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(2),
+		seldel.WithShrink(seldel.ShrinkAllButNewest),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
 	if err != nil {
 		return err
 	}
+	defer chain.Close()
 	show := func(title string) {
 		fmt.Printf("\n--- %s ---\n", title)
 		_ = chain.Render(os.Stdout, &seldel.RenderOptions{ShowMarks: true})
 	}
 
+	// One SubmitWait per scenario step: the pipeline seals each step's
+	// entries as one block, reproducing the figures exactly.
+	ctx := context.Background()
 	commit := func(entries ...*seldel.Entry) error {
-		_, err := chain.Commit(entries)
+		_, err := chain.SubmitWait(ctx, entries...)
 		return err
 	}
 	if err := commit(s.login("ALPHA", "tty1")); err != nil {

@@ -1,34 +1,36 @@
 package seldel_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/seldel/seldel"
 )
 
-// Example shows the life of an entry: written, deleted on request,
-// physically forgotten after the retention cycle.
+// Example shows the life of an entry: submitted through the pipeline,
+// deleted on request, physically forgotten after the retention cycle.
 func Example() {
 	reg := seldel.NewRegistry()
 	alice := seldel.DeterministicKey("alice", "example")
 	_ = reg.RegisterKey(alice, seldel.RoleUser)
 
-	chain, _ := seldel.NewChain(seldel.Config{
-		SequenceLength: 3, // summary block every 3rd block
-		MaxSequences:   2, // keep at most two complete sequences
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, _ := seldel.New(reg,
+		seldel.WithSequenceLength(3), // summary block every 3rd block
+		seldel.WithMaxSequences(2),   // keep at most two complete sequences
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
+	defer chain.Close()
 
-	blocks, _ := chain.Commit([]*seldel.Entry{
+	ctx := context.Background()
+	sealed, _ := chain.SubmitWait(ctx,
 		seldel.NewData("alice", []byte("embarrassing")).Sign(alice),
-	})
-	ref := seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
+	)
+	ref := sealed[0].Ref
 	fmt.Println("written at", ref)
 
-	_, _ = chain.Commit([]*seldel.Entry{
+	_, _ = chain.SubmitWait(ctx,
 		seldel.NewDeletion("alice", ref).Sign(alice),
-	})
+	)
 	fmt.Println("marked:", chain.IsMarked(ref))
 
 	for chain.IsMarked(ref) {
@@ -44,23 +46,68 @@ func Example() {
 	// forgotten entries: 1
 }
 
+// ExampleChain_Submit shows the concurrent write path: receipts resolve
+// to the entries' final coordinates once their shared block is sealed.
+func ExampleChain_Submit() {
+	reg := seldel.NewRegistry()
+	alice := seldel.DeterministicKey("alice", "example")
+	_ = reg.RegisterKey(alice, seldel.RoleUser)
+	chain, _ := seldel.New(reg, seldel.WithClock(seldel.NewLogicalClock(0)))
+	defer chain.Close()
+
+	ctx := context.Background()
+	receipts, _ := chain.Submit(ctx,
+		seldel.NewData("alice", []byte("first")).Sign(alice),
+		seldel.NewData("alice", []byte("second")).Sign(alice),
+	)
+	// Entries of one Submit call always seal in the same block.
+	for _, r := range receipts {
+		sealed, _ := r.Wait(ctx)
+		fmt.Println("sealed at", sealed.Ref)
+	}
+	// Output:
+	// sealed at 1/0
+	// sealed at 1/1
+}
+
+// ExampleChain_EntriesSeq streams the live chain without copying it.
+func ExampleChain_EntriesSeq() {
+	reg := seldel.NewRegistry()
+	alice := seldel.DeterministicKey("alice", "example")
+	_ = reg.RegisterKey(alice, seldel.RoleUser)
+	chain, _ := seldel.New(reg, seldel.WithClock(seldel.NewLogicalClock(0)))
+	defer chain.Close()
+
+	ctx := context.Background()
+	for _, payload := range []string{"a", "b", "c"} {
+		_, _ = chain.SubmitWait(ctx, seldel.NewData("alice", []byte(payload)).Sign(alice))
+	}
+	for ref, entry := range chain.EntriesSeq() {
+		fmt.Printf("%s: %s\n", ref, entry.Payload)
+	}
+	// Output:
+	// 1/0: a
+	// 3/0: b
+	// 4/0: c
+}
+
 // ExampleNewTemporary shows self-cleaning retention (§IV-D.4): the entry
 // expires at block 4 and is dropped at the next summarization.
 func ExampleNewTemporary() {
 	reg := seldel.NewRegistry()
 	logger := seldel.DeterministicKey("logger", "example")
 	_ = reg.RegisterKey(logger, seldel.RoleUser)
-	chain, _ := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   1,
-		Shrink:         seldel.ShrinkMinimal,
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, _ := seldel.New(reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(1),
+		seldel.WithShrink(seldel.ShrinkMinimal),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
+	defer chain.Close()
 
 	entry := seldel.NewTemporary("logger", []byte("debug line"), 0, 4).Sign(logger)
-	blocks, _ := chain.Commit([]*seldel.Entry{entry})
-	ref := seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
+	sealed, _ := chain.SubmitWait(context.Background(), entry)
+	ref := sealed[0].Ref
 
 	for i := 0; i < 8; i++ {
 		_, _ = chain.AppendEmpty()
@@ -79,18 +126,18 @@ func ExampleChain_Lookup() {
 	reg := seldel.NewRegistry()
 	alice := seldel.DeterministicKey("alice", "example")
 	_ = reg.RegisterKey(alice, seldel.RoleUser)
-	chain, _ := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   1,
-		Shrink:         seldel.ShrinkMinimal,
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, _ := seldel.New(reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(1),
+		seldel.WithShrink(seldel.ShrinkMinimal),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
+	defer chain.Close()
 
-	blocks, _ := chain.Commit([]*seldel.Entry{
+	sealed, _ := chain.SubmitWait(context.Background(),
 		seldel.NewData("alice", []byte("durable")).Sign(alice),
-	})
-	ref := seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
+	)
+	ref := sealed[0].Ref
 
 	for i := 0; i < 6; i++ {
 		_, _ = chain.AppendEmpty()
@@ -106,12 +153,12 @@ func ExampleNewAuditLogger() {
 	reg := seldel.NewRegistry()
 	alpha := seldel.DeterministicKey("ALPHA", "example")
 	_ = reg.RegisterKey(alpha, seldel.RoleUser)
-	chain, _ := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   2,
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, _ := seldel.New(reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(2),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
+	defer chain.Close()
 	logger, _ := seldel.NewAuditLogger(chain)
 
 	ref, _ := logger.Log(alpha, seldel.LoginEvent{

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,11 +67,14 @@ func run() error {
 		return err
 	}
 
+	ctx := context.Background()
 	drive := func(payloads ...string) error {
-		for _, p := range payloads {
-			if err := cli.Submit(cli.NewDataEntry([]byte(p))); err != nil {
-				return err
-			}
+		entries := make([]*seldel.Entry, len(payloads))
+		for i, p := range payloads {
+			entries[i] = cli.NewDataEntry([]byte(p))
+		}
+		if err := cli.Submit(ctx, entries...); err != nil {
+			return err
 		}
 		net.Flush()
 		if _, err := nodes[0].Propose(); err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,23 +34,24 @@ func run() error {
 		}
 		keys[name] = kp
 	}
-	chain, err := seldel.NewChain(seldel.Config{
-		SequenceLength:      4,
-		MaxBlocks:           16,
-		Shrink:              seldel.ShrinkMinimal,
-		RedundancyReference: true, // Fig. 9 hardening for long-lived records
-		Registry:            reg,
-		Clock:               seldel.NewLogicalClock(0),
-	})
+	chain, err := seldel.New(reg,
+		seldel.WithSequenceLength(4),
+		seldel.WithMaxBlocks(16),
+		seldel.WithShrink(seldel.ShrinkMinimal),
+		seldel.WithRedundancyReference(), // Fig. 9 hardening for long-lived records
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
 	if err != nil {
 		return err
 	}
+	defer chain.Close()
+	ctx := context.Background()
 	commit := func(entries ...*seldel.Entry) (seldel.Ref, error) {
-		blocks, err := chain.Commit(entries)
+		sealed, err := chain.SubmitWait(ctx, entries...)
 		if err != nil {
 			return seldel.Ref{}, err
 		}
-		return seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}, nil
+		return sealed[0].Ref, nil
 	}
 
 	// 1. The steelworks records a chassis part.

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,16 +28,16 @@ func run() error {
 		}
 		keys[name] = kp
 	}
-	chain, err := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   2,
-		Shrink:         seldel.ShrinkAllButNewest,
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
+	chain, err := seldel.New(reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(2),
+		seldel.WithShrink(seldel.ShrinkAllButNewest),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+	)
 	if err != nil {
 		return err
 	}
+	defer chain.Close()
 	logger, err := seldel.NewAuditLogger(chain)
 	if err != nil {
 		return err
@@ -81,7 +82,7 @@ func run() error {
 	if err := chain.CheckDeletionRequest(del); err != nil {
 		return fmt.Errorf("eager validation: %w", err)
 	}
-	if _, err := chain.Commit([]*seldel.Entry{del}); err != nil {
+	if _, err := chain.SubmitWait(context.Background(), del); err != nil {
 		return err
 	}
 	fmt.Printf("\nBRAVO requested erasure of %s (marked=%v)\n", bravoRef, chain.IsMarked(bravoRef))

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,19 +28,7 @@ func run() error {
 		return err
 	}
 
-	// 2. A chain with a summary block every 3rd block and at most two
-	// complete sequences alive (the paper's evaluation configuration).
-	chain, err := seldel.NewChain(seldel.Config{
-		SequenceLength: 3,
-		MaxSequences:   2,
-		Registry:       reg,
-		Clock:          seldel.NewLogicalClock(0),
-	})
-	if err != nil {
-		return err
-	}
-
-	// 3. Persist to disk so physical deletion is observable.
+	// 2. Persist to disk so physical deletion is observable.
 	dir := filepath.Join(os.TempDir(), "seldel-quickstart")
 	if err := os.RemoveAll(dir); err != nil {
 		return err
@@ -48,20 +37,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := seldel.AttachStore(chain, store); err != nil {
+
+	// 3. A chain with a summary block every 3rd block and at most two
+	// complete sequences alive (the paper's evaluation configuration),
+	// mirrored into the file store from genesis.
+	chain, err := seldel.New(reg,
+		seldel.WithSequenceLength(3),
+		seldel.WithMaxSequences(2),
+		seldel.WithClock(seldel.NewLogicalClock(0)),
+		seldel.WithStore(store),
+	)
+	if err != nil {
 		return err
 	}
+	defer chain.Close()
 
-	// 4. Write some entries.
+	// 4. Write some entries through the submission pipeline; each sealed
+	// receipt reports the entry's stable reference.
+	ctx := context.Background()
 	var secret seldel.Ref
 	for i := 0; i < 3; i++ {
 		entry := seldel.NewData("alice", []byte(fmt.Sprintf("note #%d", i))).Sign(alice)
-		blocks, err := chain.Commit([]*seldel.Entry{entry})
+		sealed, err := chain.SubmitWait(ctx, entry)
 		if err != nil {
 			return err
 		}
 		if i == 1 {
-			secret = seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
+			secret = sealed[0].Ref
 		}
 	}
 	fmt.Println("chain after three notes:")
@@ -70,7 +72,7 @@ func run() error {
 	// 5. Alice requests deletion of note #1 (she owns it, so the request
 	// is approved and the entry is marked).
 	del := seldel.NewDeletion("alice", secret).Sign(alice)
-	if _, err := chain.Commit([]*seldel.Entry{del}); err != nil {
+	if _, err := chain.SubmitWait(ctx, del); err != nil {
 		return err
 	}
 	fmt.Printf("\ndeletion requested for %s; marked=%v\n", secret, chain.IsMarked(secret))

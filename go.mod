@@ -1,0 +1,3 @@
+module github.com/seldel/seldel
+
+go 1.23

@@ -8,12 +8,14 @@
 package audit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/schema"
 )
 
@@ -112,18 +114,40 @@ func (l *Logger) TemporaryEntryFor(key *identity.KeyPair, ev LoginEvent, expireT
 	return block.NewTemporary(key.Name(), rec.Encode(), expireTime, expireBlock).Sign(key), nil
 }
 
-// Log commits a login event in its own block and returns its stable
-// reference.
+// Log submits a login event through the chain's submission pipeline,
+// waits for it to seal, and returns its stable reference. Concurrent
+// loggers share blocks; the returned reference accounts for coalescing.
 func (l *Logger) Log(key *identity.KeyPair, ev LoginEvent) (block.Ref, error) {
+	return l.LogContext(context.Background(), key, ev)
+}
+
+// LogContext is Log with submission and sealing bounded by ctx.
+func (l *Logger) LogContext(ctx context.Context, key *identity.KeyPair, ev LoginEvent) (block.Ref, error) {
 	entry, err := l.EntryFor(key, ev)
 	if err != nil {
 		return block.Ref{}, err
 	}
-	blocks, err := l.chain.Commit([]*block.Entry{entry})
+	sealed, err := l.chain.SubmitWait(ctx, entry)
 	if err != nil {
 		return block.Ref{}, err
 	}
-	return block.Ref{Block: blocks[0].Header.Number, Entry: 0}, nil
+	return sealed[0].Ref, nil
+}
+
+// Submit enqueues a login event without waiting for it to seal; the
+// receipt resolves to the event's stable reference once its block is
+// sealed. High-throughput audit sources submit many events and wait on
+// the receipts afterwards.
+func (l *Logger) Submit(ctx context.Context, key *identity.KeyPair, ev LoginEvent) (mempool.Receipt, error) {
+	entry, err := l.EntryFor(key, ev)
+	if err != nil {
+		return mempool.Receipt{}, err
+	}
+	receipts, err := l.chain.Submit(ctx, entry)
+	if err != nil {
+		return mempool.Receipt{}, err
+	}
+	return receipts[0], nil
 }
 
 // Decode parses a chain entry back into a login event.
@@ -174,9 +198,9 @@ type Result struct {
 	Carried bool
 }
 
-// Query scans the live chain for login events matching the options. The
-// scan covers normal entries and carried entries in summary blocks; it
-// skips entries marked for deletion (they are already "forgotten"
+// Query streams the live chain for login events matching the options.
+// The scan covers normal entries and carried entries in summary blocks;
+// it skips entries marked for deletion (they are already "forgotten"
 // logically even before physical deletion).
 func (l *Logger) Query(opts QueryOptions) ([]Result, error) {
 	var out []Result
@@ -199,7 +223,7 @@ func (l *Logger) Query(opts QueryOptions) ([]Result, error) {
 		}
 		out = append(out, Result{Ref: ref, Event: ev, Carried: carried})
 	}
-	for _, b := range l.chain.Blocks() {
+	for b := range l.chain.BlocksSeq() {
 		if b.IsSummary() {
 			for _, ce := range b.Carried {
 				appendHit(ce.Ref(), ce.Entry, true)

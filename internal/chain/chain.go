@@ -9,11 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/codec"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/simclock"
 )
 
@@ -77,6 +80,14 @@ type Config struct {
 	Seal func(*block.Block) error
 	// VerifySeal, when set, checks the seal of appended normal blocks.
 	VerifySeal func(*block.Block) error
+	// MaxBatch is the submission pipeline's soft flush threshold: Submit
+	// batches are sealed once they hold at least this many entries.
+	// 0 means mempool.DefaultMaxBatch.
+	MaxBatch int
+	// BatchLinger bounds how long the pipeline waits to grow a non-full
+	// batch once the submission stream goes idle. 0 flushes immediately
+	// on idle (lowest latency; batches still fill under load).
+	BatchLinger time.Duration
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -98,6 +109,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.MaxBlocks < 0 || cfg.MaxSequences < 0 || cfg.MinBlocks < 0 {
 		return cfg, fmt.Errorf("%w: negative limit", ErrConfig)
+	}
+	if cfg.MaxBatch < 0 || cfg.BatchLinger < 0 {
+		return cfg, fmt.Errorf("%w: negative batch parameter", ErrConfig)
 	}
 	if cfg.MaxBlocks > 0 && cfg.MaxBlocks < cfg.SequenceLength {
 		return cfg, fmt.Errorf("%w: MaxBlocks %d < SequenceLength %d", ErrConfig, cfg.MaxBlocks, cfg.SequenceLength)
@@ -218,6 +232,13 @@ type Chain struct {
 	stats     Stats
 
 	listeners []Listener
+
+	// pipe is the lazily started submission pipeline behind Submit,
+	// read lock-free on the hot path and retained after Close so stats
+	// stay readable; pipeMu serializes start/close transitions only.
+	pipeMu     sync.Mutex
+	pipe       atomic.Pointer[mempool.Batcher]
+	pipeClosed bool
 }
 
 // New creates a chain with a fresh genesis block (number 0, previous hash
@@ -317,13 +338,10 @@ func (c *Chain) Block(num uint64) (*block.Block, bool) {
 }
 
 // Blocks returns the live blocks in order. The returned slice is fresh
-// but shares the (immutable-by-convention) block values.
+// but shares the (immutable-by-convention) block values. Prefer
+// BlocksSeq for scans that may stop early.
 func (c *Chain) Blocks() []*block.Block {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*block.Block, len(c.blocks))
-	copy(out, c.blocks)
-	return out
+	return c.snapshotBlocks()
 }
 
 // Lookup resolves a stable entry reference to the entry and its current
@@ -650,6 +668,14 @@ func (c *Chain) CheckDeletionRequest(e *block.Entry) error {
 // automatically creates and appends the summary block if the following
 // slot is a summary slot (the consensus-extension behaviour of §IV-B).
 // It returns every block appended (one or two).
+//
+// Commit is the single-writer sealing primitive: concurrent Commit calls
+// do not corrupt the chain, but they can fail with ErrNotNext when they
+// race for the same head slot. Application code should use Submit, which
+// serializes and batches concurrent producers through the submission
+// pipeline; Commit remains exported for deterministic simulations and as
+// the primitive the pipeline seals through, and the root-package facade
+// documents its deprecation window.
 func (c *Chain) Commit(entries []*block.Entry) ([]*block.Block, error) {
 	normal, err := c.BuildNormal(entries)
 	if err != nil {

@@ -1,0 +1,148 @@
+package chain
+
+import (
+	"context"
+	"iter"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/mempool"
+)
+
+// Submit enqueues entries into the chain's submission pipeline and
+// returns one Receipt per entry, in order. Entries from many concurrent
+// callers are coalesced into full blocks by a single flusher (flushing
+// when the batch reaches Config.MaxBatch or when the submission stream
+// goes idle for Config.BatchLinger), so Submit is the concurrency-safe
+// write path: unlike interleaved Commit calls, concurrent Submits never
+// race each other for the head block.
+//
+// Each receipt resolves once its entry's block is sealed and appended —
+// to the entry's stable Ref, block number, and block hash — or to a
+// per-entry validation error. Entries of a single call are always sealed
+// together in the same block. Submit blocks only while the pipeline
+// intake is full; pass a cancellable ctx to bound that wait. After Close,
+// Submit returns mempool.ErrClosed.
+func (c *Chain) Submit(ctx context.Context, entries ...*block.Entry) ([]mempool.Receipt, error) {
+	// Fast path: the batcher, once started, is read lock-free; a closed
+	// batcher answers ErrClosed itself.
+	if b := c.pipe.Load(); b != nil {
+		return b.Submit(ctx, entries...)
+	}
+	b, err := c.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	return b.Submit(ctx, entries...)
+}
+
+// SubmitWait submits entries and blocks until every receipt resolves,
+// returning the sealed results in submission order. It fails fast on the
+// first per-entry error.
+func (c *Chain) SubmitWait(ctx context.Context, entries ...*block.Entry) ([]mempool.Sealed, error) {
+	receipts, err := c.Submit(ctx, entries...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mempool.Sealed, len(receipts))
+	for i, r := range receipts {
+		s, err := r.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// pipeline lazily starts the batcher on first use.
+func (c *Chain) pipeline() (*mempool.Batcher, error) {
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if b := c.pipe.Load(); b != nil {
+		return b, nil
+	}
+	if c.pipeClosed {
+		return nil, mempool.ErrClosed
+	}
+	b := mempool.NewBatcher(c, mempool.Options{
+		MaxBatch: c.cfg.MaxBatch,
+		Linger:   c.cfg.BatchLinger,
+	})
+	c.pipe.Store(b)
+	return b, nil
+}
+
+// PipelineStats returns the submission pipeline's cumulative counters
+// (zero if Submit was never called). The counters survive Close, so
+// shutdown reports see the final totals.
+func (c *Chain) PipelineStats() mempool.Stats {
+	if b := c.pipe.Load(); b != nil {
+		return b.Stats()
+	}
+	return mempool.Stats{}
+}
+
+// Close shuts down the submission pipeline: in-flight submissions are
+// still sealed and their receipts resolve, then the flusher exits.
+// Subsequent Submit calls return mempool.ErrClosed. Read methods, the
+// Commit primitive, and PipelineStats keep working. Close is idempotent,
+// and concurrent Close calls all block until the drain completes.
+func (c *Chain) Close() error {
+	c.pipeMu.Lock()
+	c.pipeClosed = true
+	b := c.pipe.Load()
+	c.pipeMu.Unlock()
+	if b != nil {
+		return b.Close()
+	}
+	return nil
+}
+
+// BlocksSeq streams the live blocks in order without copying the whole
+// live slice up front: the block pointers are snapshotted under the read
+// lock, then yielded lock-free, so consumers may call any chain method
+// (or break early) mid-iteration.
+func (c *Chain) BlocksSeq() iter.Seq[*block.Block] {
+	return func(yield func(*block.Block) bool) {
+		for _, b := range c.snapshotBlocks() {
+			if !yield(b) {
+				return
+			}
+		}
+	}
+}
+
+// EntriesSeq streams every live entry with its stable reference: entries
+// of normal blocks (data, deletion requests, temporaries) and entries
+// carried into summary blocks, in chain order. Like BlocksSeq it
+// snapshots under the read lock and yields lock-free. Use IsMarked to
+// filter entries that are logically forgotten but not yet physically
+// deleted.
+func (c *Chain) EntriesSeq() iter.Seq2[block.Ref, *block.Entry] {
+	return func(yield func(block.Ref, *block.Entry) bool) {
+		for _, b := range c.snapshotBlocks() {
+			if b.IsSummary() {
+				for _, ce := range b.Carried {
+					if !yield(ce.Ref(), ce.Entry) {
+						return
+					}
+				}
+				continue
+			}
+			num := b.Header.Number
+			for i, e := range b.Entries {
+				if !yield(block.Ref{Block: num, Entry: uint32(i)}, e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *Chain) snapshotBlocks() []*block.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*block.Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}

@@ -9,6 +9,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -136,12 +137,19 @@ func (c *Client) NewDeletionRequest(target block.Ref) *block.Entry {
 	return block.NewDeletion(c.Name(), target).Sign(c.key)
 }
 
-// Submit sends a signed entry to every anchor node for inclusion.
-func (c *Client) Submit(e *block.Entry) error {
-	body := e.Encode()
-	for _, anchor := range c.anchors {
-		if err := c.ep.Send(anchor, wire.KindEntry, wire.SealEnvelope(c.key, wire.KindEntry, body)); err != nil {
-			return fmt.Errorf("client: submit to %s: %w", anchor, err)
+// Submit sends signed entries to every anchor node for inclusion in the
+// anchors' pending pools; the anchors batch them into their next
+// proposed block. Sending stops early when ctx is done.
+func (c *Client) Submit(ctx context.Context, entries ...*block.Entry) error {
+	for _, e := range entries {
+		body := e.Encode()
+		for _, anchor := range c.anchors {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := c.ep.Send(anchor, wire.KindEntry, wire.SealEnvelope(c.key, wire.KindEntry, body)); err != nil {
+				return fmt.Errorf("client: submit to %s: %w", anchor, err)
+			}
 		}
 	}
 	return nil

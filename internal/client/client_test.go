@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -109,7 +110,7 @@ func TestClientEntryBuilders(t *testing.T) {
 
 func TestSubmitReachesAllAnchors(t *testing.T) {
 	h := newHarness(t, 3)
-	if err := h.cli.Submit(h.cli.NewDataEntry([]byte("gossip me"))); err != nil {
+	if err := h.cli.Submit(context.Background(), h.cli.NewDataEntry([]byte("gossip me"))); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Flush()
@@ -122,7 +123,7 @@ func TestSubmitReachesAllAnchors(t *testing.T) {
 
 func TestQueryStatusHappyPath(t *testing.T) {
 	h := newHarness(t, 3)
-	if err := h.cli.Submit(h.cli.NewDataEntry([]byte("x"))); err != nil {
+	if err := h.cli.Submit(context.Background(), h.cli.NewDataEntry([]byte("x"))); err != nil {
 		t.Fatal(err)
 	}
 	h.propose(t)
@@ -150,7 +151,7 @@ func TestQueryStatusTimesOutWhenIsolated(t *testing.T) {
 
 func TestLookupVerifiesProofs(t *testing.T) {
 	h := newHarness(t, 2)
-	if err := h.cli.Submit(h.cli.NewDataEntry([]byte("prove me"))); err != nil {
+	if err := h.cli.Submit(context.Background(), h.cli.NewDataEntry([]byte("prove me"))); err != nil {
 		t.Fatal(err)
 	}
 	b := h.propose(t)

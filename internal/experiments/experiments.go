@@ -42,6 +42,7 @@ func All() []Experiment {
 		{ID: "baselines", Title: "Redaction effort: ours vs. chameleon vs. hard fork", Paper: "§III", Run: runBaselines},
 		{ID: "cluster", Title: "Summary determinism and fork detection across nodes", Paper: "§IV-B", Run: runCluster},
 		{ID: "consensus", Title: "Engine independence and extension overhead", Paper: "§V-B.3", Run: runConsensus},
+		{ID: "pipeline", Title: "Submission-pipeline throughput: Submit vs Commit", Paper: "PR 1", Run: runPipeline},
 	}
 }
 

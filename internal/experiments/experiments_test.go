@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -17,8 +19,8 @@ func runByID(t *testing.T, id string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("%d experiments, want 12 (E1–E12)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("%d experiments, want 13 (E1–E12 plus the PR 1 pipeline bench)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -39,7 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 	if err := Run(&bytes.Buffer{}, "nope"); err == nil {
 		t.Error("Run(nope) did not fail")
 	}
-	if len(IDs()) != 12 {
+	if len(IDs()) != 13 {
 		t.Error("IDs incomplete")
 	}
 }
@@ -227,5 +229,50 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if a != b {
 			t.Errorf("%s output not deterministic", id)
 		}
+	}
+}
+
+func TestPipelineBenchStructure(t *testing.T) {
+	report, err := RunPipelineBench(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 4 {
+		t.Fatalf("%d results, want 4 (commit@1, submit@1/4/16)", len(report.Results))
+	}
+	if report.Results[0].API != "commit" || report.Results[0].Producers != 1 {
+		t.Errorf("first result must be the commit baseline, got %+v", report.Results[0])
+	}
+	wantProducers := []int{1, 1, 4, 16}
+	for i, r := range report.Results {
+		if r.Entries != 160 || r.OpsPerSec <= 0 || r.Blocks == 0 {
+			t.Errorf("result %d implausible: %+v", i, r)
+		}
+		if r.Producers != wantProducers[i] {
+			t.Errorf("result %d producers = %d, want %d", i, r.Producers, wantProducers[i])
+		}
+	}
+	// Concurrent submission must coalesce: strictly fewer blocks than the
+	// one-block-per-entry commit baseline.
+	if last := report.Results[3]; last.Blocks >= report.Results[0].Blocks {
+		t.Errorf("submit@16 did not batch: %d blocks vs commit's %d", last.Blocks, report.Results[0].Blocks)
+	}
+}
+
+func TestPipelineJSONWritten(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if _, err := WritePipelineJSON(path, 64); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report PipelineReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.Bench != "submission-pipeline" || len(report.Results) != 4 {
+		t.Errorf("unexpected report: %+v", report)
 	}
 }

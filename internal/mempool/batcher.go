@@ -1,0 +1,311 @@
+package mempool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// DefaultMaxBatch is the flush threshold used when Options.MaxBatch is 0.
+const DefaultMaxBatch = 256
+
+// errLedgerContract flags a Ledger.Commit that returned neither blocks
+// nor an error.
+var errLedgerContract = errors.New("mempool: ledger returned no blocks and no error")
+
+// Options parameterize a Batcher.
+type Options struct {
+	// MaxBatch is the soft flush threshold: a batch is sealed once it
+	// holds at least this many entries. One Submit call's entries always
+	// stay together, so a single oversized call may exceed it.
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+	// Linger bounds how long the flusher waits for more submissions once
+	// it holds a non-full batch. 0 flushes as soon as the submission
+	// stream goes idle, which maximizes throughput under load and
+	// minimizes latency when traffic is light.
+	Linger time.Duration
+}
+
+// group is the unit of submission: all entries of one Submit call, each
+// paired with its resolution ticket.
+type group struct {
+	entries []*block.Entry
+	tickets []*ticket
+}
+
+// Stats are cumulative pipeline counters.
+type Stats struct {
+	// Batches counts sealed batches (one normal block each).
+	Batches uint64
+	// Entries counts entries that resolved successfully.
+	Entries uint64
+	// Rejected counts entries whose receipts resolved with an error.
+	Rejected uint64
+}
+
+// Batcher coalesces concurrently submitted entries into blocks. All
+// sealing goes through a single flusher goroutine, so producers never
+// contend on the chain lock and blocks are packed as full as the offered
+// load allows.
+type Batcher struct {
+	ledger   Ledger
+	maxBatch int
+	linger   time.Duration
+
+	// mu guards closed; Submit holds it shared for the duration of its
+	// channel sends so Close (exclusive) cannot observe closed=true while
+	// a send is still in flight.
+	mu     sync.RWMutex
+	closed bool
+
+	ch   chan group
+	quit chan struct{}
+	done chan struct{}
+
+	batches  atomic.Uint64
+	entries  atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewBatcher starts a pipeline sealing through ledger.
+func NewBatcher(ledger Ledger, opts Options) *Batcher {
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	// The intake buffer holds at least one full batch of single-entry
+	// groups, so a sealed batch can reach MaxBatch even when every
+	// producer submits one entry at a time.
+	depth := maxBatch
+	if depth < 64 {
+		depth = 64
+	}
+	b := &Batcher{
+		ledger:   ledger,
+		maxBatch: maxBatch,
+		linger:   opts.Linger,
+		ch:       make(chan group, depth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Submit enqueues entries for inclusion in an upcoming block and returns
+// one Receipt per entry, in order. It blocks only while the pipeline's
+// intake is full; the receipts resolve asynchronously once the entries'
+// block is sealed. All entries of one call are sealed in the same block.
+// Entries must already be signed, and any references they depend on must
+// already be committed (in-flight dependencies are not resolved within a
+// batch).
+//
+// On ctx cancellation nothing has been enqueued and the error is
+// ctx.Err(); after Close it is ErrClosed.
+func (b *Batcher) Submit(ctx context.Context, entries ...*block.Entry) ([]Receipt, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	g := group{
+		entries: append([]*block.Entry(nil), entries...),
+		tickets: make([]*ticket, len(entries)),
+	}
+	receipts := make([]Receipt, len(entries))
+	for i := range entries {
+		t := newTicket()
+		g.tickets[i] = t
+		receipts[i] = Receipt{t: t}
+	}
+	select {
+	case b.ch <- g:
+		return receipts, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the intake, flushes every submission already accepted (all
+// their receipts resolve), and waits for the flusher to exit. It is
+// idempotent.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		close(b.quit)
+	}
+	<-b.done
+	return nil
+}
+
+// Stats returns cumulative pipeline counters.
+func (b *Batcher) Stats() Stats {
+	return Stats{
+		Batches:  b.batches.Load(),
+		Entries:  b.entries.Load(),
+		Rejected: b.rejected.Load(),
+	}
+}
+
+// run is the flusher goroutine: it blocks for the first group, greedily
+// drains everything else that is already queued (up to the batch
+// threshold), and seals the batch as one block.
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case g := <-b.ch:
+			b.flush(b.collect(g))
+		case <-b.quit:
+			// Drain the intake: Close set closed under the exclusive
+			// lock, so no Submit is or will be sending anymore.
+			for {
+				select {
+				case g := <-b.ch:
+					b.flush(b.collect(g))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect grows a batch from the first group until the threshold is
+// reached or the intake goes idle (after at most one linger period).
+func (b *Batcher) collect(first group) []group {
+	batch := []group{first}
+	size := len(first.entries)
+	var lingerC <-chan time.Time
+	if b.linger > 0 {
+		timer := time.NewTimer(b.linger)
+		defer timer.Stop()
+		lingerC = timer.C
+	}
+	for size < b.maxBatch {
+		select {
+		case g := <-b.ch:
+			batch = append(batch, g)
+			size += len(g.entries)
+		default:
+			if lingerC == nil {
+				return batch
+			}
+			select {
+			case g := <-b.ch:
+				batch = append(batch, g)
+				size += len(g.entries)
+			case <-lingerC:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// maxFlushRetries bounds re-commits of a batch whose entries all still
+// validate. One retry absorbs a head race with a concurrent Commit
+// caller (e.g. a retention ticker appending empty blocks); the bound
+// keeps a persistent batch-level failure (a broken sealer) from looping.
+const maxFlushRetries = 3
+
+// flush seals one batch as a single normal block and resolves its
+// receipts. When the commit fails, entries that fail stand-alone
+// validation are rejected through their receipts and the remainder is
+// retried, so one bad entry cannot poison a batch. A failure with no
+// offending entry is retried a bounded number of times (the chain's
+// Commit primitive can lose a head race against concurrent direct
+// committers and succeed verbatim on retry) before failing the batch.
+func (b *Batcher) flush(batch []group) {
+	retries := 0
+	for len(batch) > 0 {
+		var entries []*block.Entry
+		var tickets []*ticket
+		for _, g := range batch {
+			entries = append(entries, g.entries...)
+			tickets = append(tickets, g.tickets...)
+		}
+		blocks, err := b.ledger.Commit(entries)
+		if len(blocks) > 0 {
+			// The normal block holding the batch was appended — the
+			// entries are on-chain even if err reports a later failure
+			// (e.g. the summary step lost a race to a concurrent direct
+			// committer, who appended the identical summary). Retrying
+			// would seal duplicates, so resolve the receipts now.
+			sealed := blocks[0]
+			num, hash := sealed.Header.Number, sealed.Hash()
+			for i, t := range tickets {
+				t.resolve(Sealed{
+					Ref:       block.Ref{Block: num, Entry: uint32(i)},
+					Block:     num,
+					BlockHash: hash,
+				})
+			}
+			b.batches.Add(1)
+			b.entries.Add(uint64(len(entries)))
+			return
+		}
+		if err == nil {
+			// Defensive: a ledger must return blocks or an error.
+			for _, t := range tickets {
+				t.fail(errLedgerContract)
+			}
+			return
+		}
+		kept := batch[:0]
+		rejected := false
+		for _, g := range batch {
+			okEntries := g.entries[:0]
+			okTickets := g.tickets[:0]
+			for i, e := range g.entries {
+				if verr := b.ledger.ValidateEntries([]*block.Entry{e}); verr != nil {
+					g.tickets[i].fail(verr)
+					rejected = true
+					continue
+				}
+				okEntries = append(okEntries, e)
+				okTickets = append(okTickets, g.tickets[i])
+			}
+			if len(okEntries) > 0 {
+				kept = append(kept, group{entries: okEntries, tickets: okTickets})
+			}
+		}
+		if !rejected {
+			if retries < maxFlushRetries {
+				retries++
+				batch = kept
+				continue
+			}
+			n := 0
+			for _, g := range kept {
+				for _, t := range g.tickets {
+					t.fail(err)
+					n++
+				}
+			}
+			b.rejected.Add(uint64(n))
+			return
+		}
+		b.rejected.Add(uint64(len(entries) - groupLen(kept)))
+		batch = kept
+	}
+}
+
+func groupLen(batch []group) int {
+	n := 0
+	for _, g := range batch {
+		n += len(g.entries)
+	}
+	return n
+}

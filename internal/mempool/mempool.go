@@ -1,0 +1,45 @@
+// Package mempool implements the concurrent submission pipeline in front
+// of a selective-deletion chain.
+//
+// Related redactable-chain designs (Deuber et al., Kuperberg) treat both
+// writes and deletion requests as operations flowing through a pool of
+// pending operations rather than as caller-assembled blocks. This package
+// provides that pipeline in two pieces:
+//
+//   - Batcher coalesces entries from many concurrent producers into full
+//     blocks: a dedicated flusher goroutine drains submissions, seals one
+//     block per batch through the Ledger, and resolves a Receipt per entry
+//     with the final reference, block number, and block hash. A batch is
+//     flushed when it reaches the configured size or as soon as the
+//     submission stream goes idle (optionally after a short linger that
+//     trades latency for larger batches).
+//
+//   - Pool is the anchor-node pending set: a deduplicating holding area
+//     for gossiped entries that are included when the node next proposes
+//     a block (internal/node drives it explicitly so cluster simulations
+//     stay deterministic).
+//
+// Entries submitted in one Submit call are kept in the same sealed block,
+// so multi-entry invariants ("these records appear together") survive
+// coalescing with other producers.
+package mempool
+
+import (
+	"errors"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// ErrClosed is returned by Submit after the pipeline has been closed.
+var ErrClosed = errors.New("mempool: pipeline closed")
+
+// Ledger is the slice of the chain the batcher seals through.
+// *chain.Chain implements it.
+type Ledger interface {
+	// Commit builds, seals, and appends one normal block holding entries
+	// (plus any due summary block), returning the appended blocks.
+	Commit(entries []*block.Entry) ([]*block.Block, error)
+	// ValidateEntries checks candidate entries against the live chain
+	// state without building a block.
+	ValidateEntries(entries []*block.Entry) error
+}

@@ -1,0 +1,84 @@
+package mempool
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+)
+
+// Pool is the deduplicating pending set of an anchor node: entries
+// received from clients and peers wait here until the node proposes its
+// next block. Entries are deduplicated by content hash for the lifetime
+// of the pool, so re-gossiped entries are ignored even after inclusion.
+// It is safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	pending []*block.Entry
+	seen    map[codec.Hash]bool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{seen: make(map[codec.Hash]bool)}
+}
+
+// Add queues an entry unless its content hash was already seen. It
+// reports whether the entry was added. Shape and signature checks are
+// the caller's responsibility (the node validates against its registry
+// before pooling).
+func (p *Pool) Add(e *block.Entry) bool {
+	h := e.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen[h] {
+		return false
+	}
+	p.seen[h] = true
+	p.pending = append(p.pending, e)
+	return true
+}
+
+// Len returns the number of pending entries.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Take removes and returns every pending entry in deterministic
+// content-hash order, so all anchor nodes propose identical blocks from
+// identical pools.
+func (p *Pool) Take() []*block.Entry {
+	p.mu.Lock()
+	pending := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool {
+		hi, hj := pending[i].Hash(), pending[j].Hash()
+		return string(hi[:]) < string(hj[:])
+	})
+	return pending
+}
+
+// Remove drops pending entries that appear in included (by content
+// hash), typically because another node's proposed block carried them.
+func (p *Pool) Remove(included []*block.Entry) {
+	if len(included) == 0 {
+		return
+	}
+	drop := make(map[codec.Hash]bool, len(included))
+	for _, e := range included {
+		drop[e.Hash()] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.pending[:0]
+	for _, e := range p.pending {
+		if !drop[e.Hash()] {
+			kept = append(kept, e)
+		}
+	}
+	p.pending = kept
+}

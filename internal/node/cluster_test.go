@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -239,7 +240,7 @@ func TestClientSubmitAndVerifiedLookup(t *testing.T) {
 	}
 	cli.SetTimeout(500 * time.Millisecond)
 
-	if err := cli.Submit(cli.NewDataEntry([]byte("hello chain"))); err != nil {
+	if err := cli.Submit(context.Background(), cli.NewDataEntry([]byte("hello chain"))); err != nil {
 		t.Fatal(err)
 	}
 	cl.net.Flush()
@@ -286,14 +287,14 @@ func TestClientLookupDeletedEntry(t *testing.T) {
 	}
 	cli.SetTimeout(500 * time.Millisecond)
 
-	if err := cli.Submit(cli.NewDataEntry([]byte("to be forgotten"))); err != nil {
+	if err := cli.Submit(context.Background(), cli.NewDataEntry([]byte("to be forgotten"))); err != nil {
 		t.Fatal(err)
 	}
 	cl.net.Flush()
 	b := cl.propose(t)
 	ref := block.Ref{Block: b.Header.Number, Entry: 0}
 
-	if err := cli.Submit(cli.NewDeletionRequest(ref)); err != nil {
+	if err := cli.Submit(context.Background(), cli.NewDeletionRequest(ref)); err != nil {
 		t.Fatal(err)
 	}
 	cl.net.Flush()

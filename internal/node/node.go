@@ -8,7 +8,6 @@ package node
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/seldel/seldel/internal/block"
@@ -16,6 +15,7 @@ import (
 	"github.com/seldel/seldel/internal/codec"
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/wire"
 )
@@ -61,8 +61,7 @@ type Node struct {
 	engine   consensus.Engine
 	quorum   *consensus.Quorum
 	ep       *netsim.Endpoint
-	mempool  []*block.Entry
-	seen     map[codec.Hash]bool // entry dedup
+	pool     *mempool.Pool // pending entries awaiting the next proposal
 	tallies  map[uint64]*voteState
 	forked   bool
 }
@@ -95,7 +94,7 @@ func New(cfg Config) (*Node, error) {
 		chainCfg: chainCfg,
 		engine:   cfg.Engine,
 		quorum:   cfg.Quorum,
-		seen:     make(map[codec.Hash]bool),
+		pool:     mempool.NewPool(),
 		tallies:  make(map[uint64]*voteState),
 	}
 	if cfg.Network != nil {
@@ -129,9 +128,7 @@ func (n *Node) Forked() bool {
 
 // MempoolSize returns the number of pending entries.
 func (n *Node) MempoolSize() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.mempool)
+	return n.pool.Len()
 }
 
 // handle dispatches incoming network messages. It runs on the endpoint's
@@ -168,7 +165,7 @@ func (n *Node) handleEntry(env wire.Envelope) {
 }
 
 // AddToMempool queues an entry for inclusion in the next proposed block.
-// Duplicates (by content hash) are ignored.
+// Duplicates (by content hash) are ignored by the pending pool.
 func (n *Node) AddToMempool(e *block.Entry) {
 	if err := e.CheckShape(); err != nil {
 		return
@@ -176,29 +173,7 @@ func (n *Node) AddToMempool(e *block.Entry) {
 	if err := n.Chain().Registry().Verify(e.Owner, e.SigningBytes(), e.Signature); err != nil {
 		return
 	}
-	h := e.Hash()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.seen[h] {
-		return
-	}
-	n.seen[h] = true
-	n.mempool = append(n.mempool, e)
-}
-
-// takeMempool removes and returns the current mempool in deterministic
-// (content-hash) order, skipping entries that became invalid against the
-// current chain state.
-func (n *Node) takeMempool() []*block.Entry {
-	n.mu.Lock()
-	pending := n.mempool
-	n.mempool = nil
-	n.mu.Unlock()
-	sort.Slice(pending, func(i, j int) bool {
-		hi, hj := pending[i].Hash(), pending[j].Hash()
-		return string(hi[:]) < string(hj[:])
-	})
-	return pending
+	n.pool.Add(e)
 }
 
 // Propose builds, seals, appends, and gossips a block holding the
@@ -213,7 +188,7 @@ func (n *Node) Propose() (*block.Block, error) {
 		n.afterAppend()
 		return nil, ErrSummaryPending
 	}
-	entries := n.takeMempool()
+	entries := n.pool.Take()
 	valid := entries[:0]
 	for _, e := range entries {
 		// Drop entries that no longer validate (e.g. a dependency became
@@ -288,7 +263,7 @@ func (n *Node) handleSyncReq(env wire.Envelope) {
 		resp.Replace = true
 		from = c.Marker()
 	}
-	for _, b := range c.Blocks() {
+	for b := range c.BlocksSeq() {
 		if b.Header.Number >= from {
 			resp.Blocks = append(resp.Blocks, b.Encode())
 		}
@@ -357,22 +332,7 @@ func (n *Node) adoptStatusQuo(blocks []*block.Block) {
 // removeFromMempool drops entries that were included in a block another
 // node proposed.
 func (n *Node) removeFromMempool(included []*block.Entry) {
-	if len(included) == 0 {
-		return
-	}
-	drop := make(map[codec.Hash]bool, len(included))
-	for _, e := range included {
-		drop[e.Hash()] = true
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	kept := n.mempool[:0]
-	for _, e := range n.mempool {
-		if !drop[e.Hash()] {
-			kept = append(kept, e)
-		}
-	}
-	n.mempool = kept
+	n.pool.Remove(included)
 }
 
 // afterAppend starts the summary-vote round if a summary slot is due.

@@ -1,0 +1,231 @@
+package seldel
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/store"
+)
+
+// An Option configures a chain constructed by New.
+type Option func(*builder) error
+
+// builder accumulates the configuration assembled from options before
+// the chain is constructed.
+type builder struct {
+	cfg       Config
+	engine    Engine
+	store     Store
+	listeners []Listener
+}
+
+// New creates a selective-deletion chain for the given identity registry,
+// configured by functional options. With no options the chain uses the
+// paper's evaluation geometry (a summary block every 3rd block) with
+// unbounded retention; add WithMaxSequences or WithMaxBlocks to bound the
+// live chain and enable physical deletion.
+//
+//	chain, err := seldel.New(reg,
+//		seldel.WithSequenceLength(3),
+//		seldel.WithMaxSequences(2),
+//		seldel.WithEngine(seldel.NewPoW(8)),
+//		seldel.WithStore(fs),
+//	)
+//
+// When a store is supplied and already holds blocks, the chain is
+// restored from it; otherwise a fresh genesis is created and mirrored
+// into the store. Call Close when done to drain the submission pipeline.
+func New(reg *Registry, opts ...Option) (*Chain, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("%w: registry is required", ErrConfig)
+	}
+	b := &builder{cfg: Config{SequenceLength: 3, Registry: reg}}
+	for _, opt := range opts {
+		if err := opt(b); err != nil {
+			return nil, err
+		}
+	}
+	if b.engine != nil {
+		consensus.Configure(&b.cfg, b.engine)
+	}
+	c, err := b.open()
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range b.listeners {
+		c.AddListener(l)
+	}
+	return c, nil
+}
+
+// open constructs the chain, restoring from the store when it already
+// holds blocks.
+func (b *builder) open() (*Chain, error) {
+	if b.store == nil {
+		return chain.New(b.cfg)
+	}
+	_, _, populated, err := b.store.Range()
+	if err != nil {
+		return nil, fmt.Errorf("seldel: probing store: %w", err)
+	}
+	if populated {
+		c, _, err := store.OpenChain(b.cfg, b.store)
+		return c, err
+	}
+	c, err := chain.New(b.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.Attach(c, b.store); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WithSequenceLength sets l, the distance between summary blocks
+// (default 3, the paper's evaluation configuration). Must be ≥ 2.
+func WithSequenceLength(l int) Option {
+	return func(b *builder) error {
+		b.cfg.SequenceLength = l
+		return nil
+	}
+}
+
+// WithMaxSequences bounds the live chain to at most n complete sequences
+// (§IV-C); exceeding it merges the oldest sequences into a summary block
+// and physically deletes the cut prefix.
+func WithMaxSequences(n int) Option {
+	return func(b *builder) error {
+		b.cfg.MaxSequences = n
+		return nil
+	}
+}
+
+// WithMaxBlocks bounds the live chain to lmax blocks (Eq. 1).
+func WithMaxBlocks(n int) Option {
+	return func(b *builder) error {
+		b.cfg.MaxBlocks = n
+		return nil
+	}
+}
+
+// WithMinBlocks sets a floor on live blocks that truncation never cuts
+// below (§IV-D.3).
+func WithMinBlocks(n int) Option {
+	return func(b *builder) error {
+		b.cfg.MinBlocks = n
+		return nil
+	}
+}
+
+// WithMinTimeSpan sets a floor on the logical time covered by live
+// blocks (§IV-D.3).
+func WithMinTimeSpan(span uint64) Option {
+	return func(b *builder) error {
+		b.cfg.MinTimeSpan = span
+		return nil
+	}
+}
+
+// WithShrink selects the sequence-merge policy (default
+// ShrinkAllButNewest, the prototype behaviour of Figs. 6–8).
+func WithShrink(p ShrinkPolicy) Option {
+	return func(b *builder) error {
+		b.cfg.Shrink = p
+		return nil
+	}
+}
+
+// WithRedundancyReference enables the Fig. 9 middle-sequence Merkle
+// reference in summary blocks.
+func WithRedundancyReference() Option {
+	return func(b *builder) error {
+		b.cfg.RedundancyReference = true
+		return nil
+	}
+}
+
+// WithClock supplies the chain's logical clock (default: a fresh Logical
+// clock starting at 0). Experiments pass deterministic clocks; servers
+// pass NewWallClock().
+func WithClock(c Clock) Option {
+	return func(b *builder) error {
+		b.cfg.Clock = c
+		return nil
+	}
+}
+
+// WithDeletionPolicy selects requester-authorization strictness for
+// deletion requests (default PolicyRoleBased, §IV-D.1).
+func WithDeletionPolicy(p DeletionPolicy) Option {
+	return func(b *builder) error {
+		b.cfg.DeletionPolicy = p
+		return nil
+	}
+}
+
+// WithAutoCohesion enables the Bell-LaPadula-style automatic cohesion
+// decision of §IV-D.2.
+func WithAutoCohesion(p *AutoCohesionPolicy) Option {
+	return func(b *builder) error {
+		b.cfg.AutoCohesion = p
+		return nil
+	}
+}
+
+// WithEngine wires a consensus engine: it seals freshly built normal
+// blocks and verifies seals on blocks received from peers. This replaces
+// the retired UseEngine(cfg, …) side-channel.
+func WithEngine(e Engine) Option {
+	return func(b *builder) error {
+		if e == nil {
+			return fmt.Errorf("%w: nil engine", ErrConfig)
+		}
+		b.engine = e
+		return nil
+	}
+}
+
+// WithStore persists the chain into s: restored from it when non-empty,
+// mirrored into it from genesis otherwise.
+func WithStore(s Store) Option {
+	return func(b *builder) error {
+		if s == nil {
+			return fmt.Errorf("%w: nil store", ErrConfig)
+		}
+		b.store = s
+		return nil
+	}
+}
+
+// WithListener registers a mutation observer on the new chain.
+func WithListener(l Listener) Option {
+	return func(b *builder) error {
+		if l == nil {
+			return fmt.Errorf("%w: nil listener", ErrConfig)
+		}
+		b.listeners = append(b.listeners, l)
+		return nil
+	}
+}
+
+// WithMaxBatch sets the submission pipeline's soft flush threshold: a
+// Submit batch is sealed once it holds at least n entries (default 256).
+func WithMaxBatch(n int) Option {
+	return func(b *builder) error {
+		b.cfg.MaxBatch = n
+		return nil
+	}
+}
+
+// WithBatchLinger lets the submission pipeline wait up to d for more
+// entries before sealing a non-full batch. The default (0) seals as soon
+// as the submission stream goes idle.
+func WithBatchLinger(d time.Duration) Option {
+	return func(b *builder) error {
+		b.cfg.BatchLinger = d
+		return nil
+	}
+}

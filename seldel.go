@@ -17,19 +17,33 @@
 //	alice := seldel.DeterministicKey("alice", "demo")
 //	_ = reg.RegisterKey(alice, seldel.RoleUser)
 //
-//	chain, _ := seldel.NewChain(seldel.Config{
-//		SequenceLength: 3,
-//		MaxSequences:   2,
-//		Registry:       reg,
-//	})
-//	blocks, _ := chain.Commit([]*seldel.Entry{
+//	chain, _ := seldel.New(reg,
+//		seldel.WithSequenceLength(3),
+//		seldel.WithMaxSequences(2),
+//	)
+//	defer chain.Close()
+//
+//	ctx := context.Background()
+//	sealed, _ := chain.SubmitWait(ctx,
 //		seldel.NewData("alice", []byte("hello")).Sign(alice),
-//	})
-//	ref := seldel.Ref{Block: blocks[0].Header.Number, Entry: 0}
-//	_, _ = chain.Commit([]*seldel.Entry{
-//		seldel.NewDeletion("alice", ref).Sign(alice),
-//	})
+//	)
+//	_, _ = chain.SubmitWait(ctx,
+//		seldel.NewDeletion("alice", sealed[0].Ref).Sign(alice),
+//	)
 //	// After the retention bound passes, the entry is physically gone.
+//
+// # Writing concurrently
+//
+// Submit is the write path: entries from any number of goroutines are
+// coalesced by the chain's submission pipeline into full blocks, and
+// each entry's Receipt resolves to its stable Ref, block number, and
+// block hash once sealed (or to a per-entry validation error):
+//
+//	receipts, err := chain.Submit(ctx, entryA, entryB)
+//	sealed, err := receipts[0].Wait(ctx)
+//
+// Entries of one Submit call always seal in the same block. For reads,
+// EntriesSeq and BlocksSeq stream the live chain without copying it.
 //
 // The subsystems are re-exported here so applications depend only on
 // this package: identity management and role-based authorization,
@@ -37,7 +51,9 @@
 // quorum voting, persistent stores, a network simulator with anchor
 // nodes and verifying clients, the audit-logging use case of the paper's
 // evaluation, and the baselines and attack models used by the
-// experiments.
+// experiments. Failures can be classified with errors.Is against the
+// sentinel errors re-exported in errors.go (ErrConfig, ErrUnauthorized,
+// ErrNotFound, ErrClosed, …).
 package seldel
 
 import (
@@ -51,6 +67,7 @@ import (
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/node"
 	"github.com/seldel/seldel/internal/schema"
@@ -76,6 +93,18 @@ type (
 	Listener = chain.Listener
 	// RenderOptions controls the paper-style console rendering.
 	RenderOptions = chain.RenderOptions
+)
+
+// Submission-pipeline types.
+type (
+	// Receipt tracks one submitted entry; it resolves to a Sealed result
+	// or a per-entry error once the entry's block is sealed.
+	Receipt = mempool.Receipt
+	// Sealed is where a submitted entry ended up: stable Ref, block
+	// number, and block hash.
+	Sealed = mempool.Sealed
+	// PipelineStats are the submission pipeline's cumulative counters.
+	PipelineStats = mempool.Stats
 )
 
 // Block and entry types.
@@ -197,6 +226,12 @@ const (
 var GenesisPrevHash = block.GenesisPrevHash
 
 // NewChain creates a chain with a fresh genesis block.
+//
+// Deprecated: use New with functional options (WithSequenceLength,
+// WithMaxSequences, WithEngine, WithStore, …). NewChain — like the
+// Chain.Commit method it is typically paired with — is retained for one
+// release as a migration shim and will then be removed; see the
+// deprecation window recorded in ROADMAP.md.
 func NewChain(cfg Config) (*Chain, error) { return chain.New(cfg) }
 
 // RestoreChain rebuilds a chain from persisted live blocks.
@@ -251,9 +286,6 @@ func NewAutoCohesionPolicy(levels map[string]int) *AutoCohesionPolicy {
 	return deletion.NewAutoPolicy(levels)
 }
 
-// UseEngine wires a consensus engine into a chain configuration.
-func UseEngine(cfg *Config, e Engine) { consensus.Configure(cfg, e) }
-
 // NewNetwork creates an in-memory network.
 func NewNetwork(cfg NetworkConfig) *Network { return netsim.New(cfg) }
 
@@ -272,7 +304,7 @@ func NewMemStore() *MemStore { return store.NewMem() }
 func NewFileStore(dir string) (*FileStore, error) { return store.NewFile(dir) }
 
 // AttachStore mirrors all chain mutations into s (and backfills the
-// current live blocks).
+// current live blocks). New code can pass WithStore to New instead.
 func AttachStore(c *Chain, s Store) error {
 	_, err := store.Attach(c, s)
 	return err
