@@ -49,7 +49,13 @@ func run(args []string) error {
 			fmt.Printf("%-7s producers=%-2d entries=%-6d blocks=%-5d %10.0f ops/sec\n",
 				r.API, r.Producers, r.Entries, r.Blocks, r.OpsPerSec)
 		}
-		fmt.Printf("submit@16 vs commit@1: %.2fx — wrote %s\n", report.SpeedupX16, *jsonPath)
+		fmt.Printf("submit@16 vs commit@1: %.2fx\n", report.SpeedupX16)
+		for _, r := range report.VerifyResults {
+			fmt.Printf("verify  gomaxprocs=%-2d cache=%-5v entries=%-6d %10.0f ops/sec (ed25519=%d, hits=%d)\n",
+				r.GOMAXPROCS, r.Cache, r.Entries, r.OpsPerSec, r.Verified, r.CacheHits)
+		}
+		fmt.Printf("verify pool: %.2fx; cache: %.2fx — wrote %s\n",
+			report.VerifyPoolSpeedup, report.VerifyCacheSpeedup, *jsonPath)
 		return nil
 	}
 	if *id != "" {

@@ -130,6 +130,9 @@ func runSingle(extra int) error {
 	fmt.Printf("\nstats: appended=%d cut=%d live=%d forgotten=%d expired=%d rejected=%d\n",
 		st.AppendedBlocks, st.CutBlocks, st.LiveBlocks,
 		st.ForgottenEntries, st.ExpiredEntries, st.RejectedRequests)
+	vs := chain.PipelineStats().Verify
+	fmt.Printf("verify: workers=%d ed25519=%d cache-hits=%d misses=%d\n",
+		vs.Workers, vs.Verified, vs.CacheHits, vs.CacheMisses)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/simclock"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // ShrinkPolicy selects how many sequences are merged into a new summary
@@ -80,6 +81,12 @@ type Config struct {
 	Seal func(*block.Block) error
 	// VerifySeal, when set, checks the seal of appended normal blocks.
 	VerifySeal func(*block.Block) error
+	// Verifier is the signature-verification engine used by every
+	// validation path (candidate entries, gossiped blocks, restores).
+	// Nil means the process-wide shared pool (verify.Shared()), so
+	// chains in one process share workers and the verified-signature
+	// cache.
+	Verifier *verify.Pool
 	// MaxBatch is the submission pipeline's soft flush threshold: Submit
 	// batches are sealed once they hold at least this many entries.
 	// 0 means mempool.DefaultMaxBatch.
@@ -118,6 +125,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.DeletionPolicy == 0 {
 		cfg.DeletionPolicy = deletion.PolicyRoleBased
+	}
+	if cfg.Verifier == nil {
+		cfg.Verifier = verify.Shared()
 	}
 	return cfg, nil
 }
@@ -228,6 +238,14 @@ type Chain struct {
 	// marks holds approved, not-yet-executed deletion marks.
 	marks map[block.Ref]Mark
 
+	// ledger is the incremental summary-planning state: the origin-
+	// ordered carried-entry candidates plus expiry heaps (ledger.go).
+	ledger carriedLedger
+	// liveEntries / carriedEntries are maintained incrementally on
+	// append, mark, and truncate, so Stats() is O(1).
+	liveEntries    int
+	carriedEntries int
+
 	liveBytes int64
 	stats     Stats
 
@@ -254,6 +272,7 @@ func New(cfg Config) (*Chain, error) {
 		index:      make(map[block.Ref]Location),
 		dependents: make(map[block.Ref][]deletion.Dependent),
 		marks:      make(map[block.Ref]Mark),
+		ledger:     newCarriedLedger(),
 	}
 	genesis := block.NewNormal(0, full.Clock.Tick(), block.GenesisPrevHash, nil)
 	c.blocks = append(c.blocks, genesis)
@@ -271,6 +290,11 @@ func (c *Chain) AddListener(l Listener) {
 
 // Registry returns the identity registry the chain validates against.
 func (c *Chain) Registry() *identity.Registry { return c.cfg.Registry }
+
+// Verifier returns the signature-verification pool the chain validates
+// through, so adjacent layers (mempool warming, node gossip screening)
+// share its workers and verified-signature cache.
+func (c *Chain) Verifier() *verify.Pool { return c.cfg.Verifier }
 
 // SequenceLength returns the configured summary distance l.
 func (c *Chain) SequenceLength() int { return c.cfg.SequenceLength }
@@ -399,6 +423,7 @@ func (c *Chain) Confirmations(ref block.Ref) (uint64, error) {
 }
 
 // Stats returns a snapshot of the chain's size and deletion counters.
+// All counters are maintained incrementally, so the call is O(1).
 func (c *Chain) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -406,31 +431,32 @@ func (c *Chain) Stats() Stats {
 	s.LiveBlocks = len(c.blocks)
 	s.LiveBytes = c.liveBytes
 	s.ActiveMarks = len(c.marks)
-	live, carried := 0, 0
-	for ref, loc := range c.index {
-		if _, marked := c.marks[ref]; marked {
-			continue
-		}
-		live++
-		if loc.Carried {
-			carried++
-		}
-	}
-	s.LiveEntries = live
-	s.CarriedEntries = carried
+	s.LiveEntries = c.liveEntries
+	s.CarriedEntries = c.carriedEntries
 	return s
 }
 
-// validateEntries checks every entry of a candidate normal block against
-// the live chain state: shape, signature, and dependency rules.
-func (c *Chain) validateEntries(entries []*block.Entry) error {
+// verifyEntries checks the chain-state-independent rules of a candidate
+// entry batch — structural shape and owner signature — through the
+// parallel verification pool. It takes no lock: signature checking is
+// the dominant validation cost and must not serialize behind Chain.mu.
+func (c *Chain) verifyEntries(entries []*block.Entry) error {
+	if err := c.cfg.Verifier.Entries(c.cfg.Registry, entries); err != nil {
+		var ee *verify.EntryError
+		if errors.As(err, &ee) {
+			return fmt.Errorf("%w: entry %d: %v", ErrEntryInvalid, ee.Index, ee.Err)
+		}
+		return fmt.Errorf("%w: %v", ErrEntryInvalid, err)
+	}
+	return nil
+}
+
+// validateDepsLocked checks the chain-state-dependent rules of a
+// candidate entry batch: dependency existence and mark status. Callers
+// must hold the chain lock; signatures are checked separately (and
+// before) by verifyEntries.
+func (c *Chain) validateDepsLocked(entries []*block.Entry) error {
 	for i, e := range entries {
-		if err := e.CheckShape(); err != nil {
-			return fmt.Errorf("%w: entry %d: %v", ErrEntryInvalid, i, err)
-		}
-		if err := c.cfg.Registry.Verify(e.Owner, e.SigningBytes(), e.Signature); err != nil {
-			return fmt.Errorf("%w: entry %d: %v", ErrEntryInvalid, i, err)
-		}
 		if e.Kind != block.KindData {
 			continue
 		}
@@ -450,12 +476,17 @@ func (c *Chain) validateEntries(entries []*block.Entry) error {
 
 // ValidateEntries checks candidate entries against the live chain state
 // (shape, signature, dependency rules) without building a block or
-// advancing the clock. Note that entries cannot depend on other entries
-// in the same candidate set: dependencies must already be committed.
+// advancing the clock. Signatures verify in parallel outside the chain
+// lock; only the dependency rules are checked under it. Note that
+// entries cannot depend on other entries in the same candidate set:
+// dependencies must already be committed.
 func (c *Chain) ValidateEntries(entries []*block.Entry) error {
+	if err := c.verifyEntries(entries); err != nil {
+		return err
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.validateEntries(entries)
+	return c.validateDepsLocked(entries)
 }
 
 // InjectMarkForTest forcibly adds a deletion mark, bypassing all
@@ -465,21 +496,34 @@ func (c *Chain) ValidateEntries(entries []*block.Entry) error {
 func (c *Chain) InjectMarkForTest(ref block.Ref) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, already := c.marks[ref]; !already {
+		if loc, ok := c.index[ref]; ok {
+			c.liveEntries--
+			if loc.Carried {
+				c.carriedEntries--
+			}
+			c.ledger.mark(ref)
+		}
+	}
 	c.marks[ref] = Mark{Target: ref, Requester: "<fault-injection>"}
 }
 
 // BuildNormal assembles (but does not append) the next normal block from
 // the given entries. The block is unsealed; callers with a consensus
 // engine seal it before appending. Fails if the next slot is a summary
-// slot or any entry is invalid.
+// slot or any entry is invalid. Signatures verify in parallel before the
+// chain lock is taken; only slot and dependency rules run under it.
 func (c *Chain) BuildNormal(entries []*block.Entry) (*block.Block, error) {
+	if err := c.verifyEntries(entries); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.head().Header.Number + 1
 	if c.isSummarySlot(next) {
 		return nil, fmt.Errorf("%w: block %d is a summary slot", ErrWrongSlot, next)
 	}
-	if err := c.validateEntries(entries); err != nil {
+	if err := c.validateDepsLocked(entries); err != nil {
 		return nil, err
 	}
 	return block.NewNormal(next, c.cfg.Clock.Tick(), c.head().Hash(), entries), nil
@@ -487,8 +531,24 @@ func (c *Chain) BuildNormal(entries []*block.Entry) (*block.Block, error) {
 
 // AppendBlock validates and appends a block received from consensus or
 // gossip. Summary blocks are compared bit-for-bit against the locally
-// computed summary (§IV-B); a mismatch signals a fork.
+// computed summary (§IV-B); a mismatch signals a fork. Entry signatures
+// of normal blocks verify in parallel before the chain lock is taken —
+// but only after the cheap chain-position screen, so a flood of stale
+// or mispositioned blocks is rejected in O(1) instead of costing one
+// Ed25519 check per entry. The chain-state-dependent rules (hash link,
+// slot kind, dependencies, seal) are re-checked under the lock.
 func (c *Chain) AppendBlock(b *block.Block) error {
+	if err := b.CheckShape(); err != nil {
+		return err
+	}
+	if !b.IsSummary() {
+		if err := c.screenPosition(b); err != nil {
+			return err
+		}
+		if err := c.verifyEntries(b.Entries); err != nil {
+			return err
+		}
+	}
 	c.mu.Lock()
 	events, err := c.appendLocked(b)
 	c.mu.Unlock()
@@ -496,6 +556,29 @@ func (c *Chain) AppendBlock(b *block.Block) error {
 		return err
 	}
 	events.fire(c.listenersSnapshot())
+	return nil
+}
+
+// screenPosition cheaply pre-checks a candidate block's chain position
+// under the read lock, before signature verification pays per-entry
+// Ed25519 cost. appendLocked re-checks everything authoritatively; a
+// block that passes here can still lose the race to a concurrent
+// append, and a block rejected here could at worst have become
+// appendable in that same window (gossip recovers it via sync).
+func (c *Chain) screenPosition(b *block.Block) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	head := c.head()
+	next := head.Header.Number + 1
+	if b.Header.Number != next {
+		return fmt.Errorf("%w: got %d, want %d", ErrNotNext, b.Header.Number, next)
+	}
+	if b.Header.PrevHash != head.Hash() {
+		return fmt.Errorf("%w: previous hash mismatch at %d", ErrNotNext, b.Header.Number)
+	}
+	if b.IsSummary() != c.isSummarySlot(next) {
+		return fmt.Errorf("%w: block %d: summary=%v, slot wants %v", ErrWrongSlot, next, b.IsSummary(), c.isSummarySlot(next))
+	}
 	return nil
 }
 
@@ -523,11 +606,11 @@ func (c *Chain) listenersSnapshot() []Listener {
 	return out
 }
 
+// appendLocked applies the chain-state-dependent checks and mutations of
+// an append. Shape and entry signatures were already verified lock-free
+// by AppendBlock.
 func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
 	var events chainEvents
-	if err := b.CheckShape(); err != nil {
-		return events, err
-	}
 	head := c.head()
 	next := head.Header.Number + 1
 	if b.Header.Number != next {
@@ -564,7 +647,7 @@ func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
 			return events, fmt.Errorf("%w: %v", ErrSealFailed, err)
 		}
 	}
-	if err := c.validateEntries(b.Entries); err != nil {
+	if err := c.validateDepsLocked(b.Entries); err != nil {
 		return events, err
 	}
 	c.pushBlock(b)
@@ -573,7 +656,8 @@ func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
 	return events, nil
 }
 
-// pushBlock links b into the live slice and indexes its entries.
+// pushBlock links b into the live slice, indexes its entries, and feeds
+// the carried-entry ledger and the incremental live/carried counters.
 func (c *Chain) pushBlock(b *block.Block) {
 	c.blocks = append(c.blocks, b)
 	c.liveBytes += int64(b.EncodedSize())
@@ -581,15 +665,33 @@ func (c *Chain) pushBlock(b *block.Block) {
 	num := b.Header.Number
 	if b.IsSummary() {
 		for i, carried := range b.Carried {
-			c.index[carried.Ref()] = Location{Block: num, Index: i, Carried: true}
+			ref := carried.Ref()
+			if loc, ok := c.index[ref]; !ok {
+				// Restored summary whose merge history is gone: the
+				// entry enters the live set directly as carried.
+				c.liveEntries++
+				c.carriedEntries++
+			} else if !loc.Carried {
+				c.carriedEntries++
+			}
+			c.index[ref] = Location{Block: num, Index: i, Carried: true}
 		}
+		c.ledger.migrate(num, b.Carried)
 		return
 	}
 	for i, e := range b.Entries {
 		if e.Kind != block.KindData {
 			continue
 		}
-		c.index[block.Ref{Block: num, Entry: uint32(i)}] = Location{Block: num, Index: i}
+		ref := block.Ref{Block: num, Entry: uint32(i)}
+		c.index[ref] = Location{Block: num, Index: i}
+		c.ledger.add(ref, block.CarriedEntry{
+			OriginBlock: num,
+			OriginTime:  b.Header.Time,
+			EntryNumber: uint32(i),
+			Entry:       e,
+		})
+		c.liveEntries++
 	}
 }
 
@@ -623,6 +725,17 @@ func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock ui
 	if err := c.auth.ValidateRequest(e, target, c.liveDependents(e.Target)); err != nil {
 		c.stats.RejectedRequests++
 		return
+	}
+	if _, already := c.marks[e.Target]; !already {
+		// The target leaves the live set logically; physical deletion
+		// happens at the next marker shift.
+		if loc, ok := c.index[e.Target]; ok {
+			c.liveEntries--
+			if loc.Carried {
+				c.carriedEntries--
+			}
+		}
+		c.ledger.mark(e.Target)
 	}
 	c.marks[e.Target] = Mark{
 		Target:        e.Target,

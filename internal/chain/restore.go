@@ -20,6 +20,12 @@ import (
 // forgotten are (correctly) not recreated. Lifetime statistics counters
 // (CutBlocks, ForgottenEntries, …) restart from zero — they describe the
 // current process, not the chain's full history.
+//
+// Every entry signature — including entries carried inside summary
+// blocks — is re-verified through the parallel verification pool before
+// any block is trusted, so a tampered persisted chain (or a malicious
+// status-quo offer) is rejected at restore time instead of poisoning
+// later validations.
 func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
@@ -34,11 +40,14 @@ func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
 		index:      make(map[block.Ref]Location),
 		dependents: make(map[block.Ref][]deletion.Dependent),
 		marks:      make(map[block.Ref]Mark),
+		ledger:     newCarriedLedger(),
 		marker:     blocks[0].Header.Number,
 	}
 	if c.marker%uint64(full.SequenceLength) != 0 {
 		return nil, fmt.Errorf("%w: first block %d is not sequence-aligned", ErrConfig, c.marker)
 	}
+	// Structural pass first (cheap, sequential), then all signatures in
+	// one concurrent sweep, then the stateful rebuild.
 	for i, b := range blocks {
 		if err := b.CheckShape(); err != nil {
 			return nil, fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
@@ -53,9 +62,27 @@ func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
 		if i > 0 && b.Header.PrevHash != blocks[i-1].Hash() {
 			return nil, fmt.Errorf("chain: restore: broken hash link at block %d", b.Header.Number)
 		}
+	}
+	if err := full.Verifier.Blocks(full.Registry, blocks); err != nil {
+		return nil, fmt.Errorf("chain: restore: %w", err)
+	}
+	for _, b := range blocks {
 		c.pushBlock(b)
 		if !b.IsSummary() {
 			c.processNormal(b)
+			continue
+		}
+		// Re-register the dependency edges of carried entries. A live
+		// chain keeps these edges when entries migrate into a summary;
+		// dropping them here would let a replayed deletion request slip
+		// past a cohesion rejection it historically received (§IV-D.2).
+		for _, ce := range b.Carried {
+			ref := ce.Ref()
+			for _, dep := range ce.Entry.DependsOn {
+				if _, ok := c.index[dep]; ok {
+					c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: ce.Entry.Owner})
+				}
+			}
 		}
 	}
 	// Make sure a restored clock never reissues timestamps from the past.

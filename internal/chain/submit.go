@@ -64,22 +64,39 @@ func (c *Chain) pipeline() (*mempool.Batcher, error) {
 	if c.pipeClosed {
 		return nil, mempool.ErrClosed
 	}
-	b := mempool.NewBatcher(c, mempool.Options{
+	opts := mempool.Options{
 		MaxBatch: c.cfg.MaxBatch,
 		Linger:   c.cfg.BatchLinger,
-	})
+	}
+	if c.cfg.Verifier.HasCache() {
+		// Pre-verify submissions while their batch assembles, so the
+		// sealing commit resolves the signatures from the verified-
+		// signature cache instead of re-paying Ed25519 for each.
+		opts.Warm = func(entries []*block.Entry) {
+			c.cfg.Verifier.Warm(c.cfg.Registry, entries)
+		}
+	}
+	b := mempool.NewBatcher(c, opts)
 	c.pipe.Store(b)
 	return b, nil
 }
 
 // PipelineStats returns the submission pipeline's cumulative counters
-// (zero if Submit was never called). The counters survive Close, so
-// shutdown reports see the final totals.
+// and backpressure gauges: intake-queue depth/capacity, the adaptive
+// linger currently applied, and the verification pool's utilization and
+// cache effectiveness. The counters survive Close, so shutdown reports
+// see the final totals; the verify snapshot is filled even before the
+// first Submit. Note the verify gauges describe the chain's POOL: when
+// several chains share one (the default verify.Shared()), they include
+// the other chains' traffic too — give a chain its own pool via
+// Config.Verifier to isolate its numbers.
 func (c *Chain) PipelineStats() mempool.Stats {
+	var s mempool.Stats
 	if b := c.pipe.Load(); b != nil {
-		return b.Stats()
+		s = b.Stats()
 	}
-	return mempool.Stats{}
+	s.Verify = c.cfg.Verifier.Stats()
+	return s
 }
 
 // Close shuts down the submission pipeline: in-flight submissions are

@@ -2,7 +2,6 @@ package chain
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/codec"
@@ -29,12 +28,10 @@ func (c *Chain) seqOf(n uint64) uint64 { return n / uint64(c.cfg.SequenceLength)
 // seqStart returns the first block number of sequence s.
 func (c *Chain) seqStart(s uint64) uint64 { return s * uint64(c.cfg.SequenceLength) }
 
-// planSummaryLocked computes the next summary block Σ and its retention
-// plan. Callers must hold the chain lock (read or write) and must have
-// verified that the next slot is a summary slot.
-func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
-	head := c.head()
-	num := head.Header.Number + 1
+// retentionPlanLocked decides how far the next summary at block num
+// shrinks the chain: the new Genesis marker per Eq. 1 iterated under the
+// configured policy, bounded by the §IV-D.3 floors.
+func (c *Chain) retentionPlanLocked(num, headTime uint64) summaryPlan {
 	currentSeq := c.seqOf(num)
 	firstSeq := c.seqOf(c.marker)
 
@@ -53,7 +50,7 @@ func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
 	}
 	// Floors (§IV-D.3): never shrink below MinBlocks live blocks or below
 	// MinTimeSpan of covered logical time.
-	for keepFrom > firstSeq && c.violatesFloors(keepFrom, num, head.Header.Time) {
+	for keepFrom > firstSeq && c.violatesFloors(keepFrom, num, headTime) {
 		keepFrom--
 	}
 
@@ -61,64 +58,49 @@ func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
 	if keepFrom > firstSeq {
 		plan.newMarker = c.seqStart(keepFrom)
 	}
+	return plan
+}
 
-	// Copy the content of the merged prefix into the new summary block
-	// (Fig. 4): original block number, timestamp, and entry number are
-	// preserved; deletion entries, marked entries, and expired temporary
-	// entries are not copied (§IV-C, §IV-D).
+// planSummaryLocked computes the next summary block Σ and its retention
+// plan from the carried-entry ledger: instead of rescanning every merged
+// block (and every entry already carried inside a previous summary, the
+// dominant cost as chains grow), it copies the ledger's origin-ordered
+// prefix below the new marker — O(carried output). The result is
+// bit-identical to planSummaryReferenceLocked, which the golden tests
+// enforce. Callers must hold the chain lock (read or write) and must
+// have verified that the next slot is a summary slot; the method never
+// mutates chain state (nodes re-plan freely while voting).
+func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
+	head := c.head()
+	num := head.Header.Number + 1
+
+	plan := c.retentionPlanLocked(num, head.Header.Time)
+
 	var carried []block.CarriedEntry
-	for _, b := range c.blocks {
-		if b.Header.Number >= plan.newMarker {
-			break
-		}
-		if b.IsSummary() {
-			for _, ce := range b.Carried {
-				if _, marked := c.marks[ce.Ref()]; marked {
-					continue
-				}
-				if ce.Entry.ExpiredAt(head.Header.Time, num) {
-					plan.expired++
-					continue
-				}
-				carried = append(carried, ce)
+	if plan.newMarker > c.marker {
+		// An entry's origin never exceeds its holder, so every entry of
+		// the merged prefix sits in the ledger's origin-< newMarker
+		// prefix; entries already migrated into a summary that survives
+		// the cut (ShrinkMinimal partial merges) are skipped by holder.
+		checkExpiry := c.ledger.expiryPossible(head.Header.Time, num)
+		for _, cand := range c.ledger.ordered {
+			if cand.ce.OriginBlock >= plan.newMarker {
+				break
 			}
-			continue
-		}
-		for i, e := range b.Entries {
-			if e.Kind == block.KindDeletion {
-				// §IV-D.3: deletion requests are never copied forward.
+			if cand.holder >= plan.newMarker || cand.marked {
 				continue
 			}
-			ref := block.Ref{Block: b.Header.Number, Entry: uint32(i)}
-			if _, marked := c.marks[ref]; marked {
-				continue
-			}
-			if e.ExpiredAt(head.Header.Time, num) {
+			if checkExpiry && cand.ce.Entry.ExpiredAt(head.Header.Time, num) {
 				plan.expired++
 				continue
 			}
-			carried = append(carried, block.CarriedEntry{
-				OriginBlock: b.Header.Number,
-				OriginTime:  b.Header.Time,
-				EntryNumber: uint32(i),
-				Entry:       e,
-			})
+			carried = append(carried, cand.ce)
 		}
 	}
 
-	// Fig. 4 orders the summary data part by origin block and entry
-	// number; sorting also keeps the layout stable as entries migrate
-	// through multiple summary generations.
-	sort.Slice(carried, func(i, j int) bool {
-		if carried[i].OriginBlock != carried[j].OriginBlock {
-			return carried[i].OriginBlock < carried[j].OriginBlock
-		}
-		return carried[i].EntryNumber < carried[j].EntryNumber
-	})
-
 	var seqRef *block.SequenceRef
 	if c.cfg.RedundancyReference {
-		seqRef = c.middleSequenceRef(c.seqOf(plan.newMarker), currentSeq)
+		seqRef = c.middleSequenceRef(c.seqOf(plan.newMarker), c.seqOf(num))
 	}
 
 	return block.NewSummary(num, head.Header.Time, head.Hash(), carried, seqRef), plan
@@ -221,7 +203,10 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *[2]uint64 {
 	c.marker = plan.newMarker
 
 	// Sweep the entry index: references whose current location was cut
-	// are physically gone. Marks pointing at them are now executed.
+	// are physically gone. Marks pointing at them are now executed;
+	// unmarked leftovers are expired temporaries the merge dropped.
+	// (Marked entries left the live counters when their mark was
+	// approved, so only the expired ones are decremented here.)
 	for ref, loc := range c.index {
 		if loc.Block >= c.marker {
 			continue
@@ -230,8 +215,14 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *[2]uint64 {
 		if _, marked := c.marks[ref]; marked {
 			delete(c.marks, ref)
 			c.stats.ForgottenEntries++
+			continue
+		}
+		c.liveEntries--
+		if loc.Carried {
+			c.carriedEntries--
 		}
 	}
+	c.ledger.prune(c.marker)
 	// Sweep the dependency graph: drop edges whose endpoints died.
 	for target, deps := range c.dependents {
 		if _, ok := c.index[target]; !ok {

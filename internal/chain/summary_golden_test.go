@@ -1,0 +1,317 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the summary golden file")
+
+// buildSummaryBothForTest runs the incremental and the naive reference
+// planner on identical chain state.
+func (c *Chain) buildSummaryBothForTest() (inc, ref *block.Block, incPlan, refPlan summaryPlan) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	inc, incPlan = c.planSummaryLocked()
+	ref, refPlan = c.planSummaryReferenceLocked()
+	return inc, ref, incPlan, refPlan
+}
+
+// recountStatsForTest recomputes the live/carried counters the way the
+// pre-ledger Stats() did: a full scan of the entry index.
+func (c *Chain) recountStatsForTest() (live, carried int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for ref, loc := range c.index {
+		if _, marked := c.marks[ref]; marked {
+			continue
+		}
+		live++
+		if loc.Carried {
+			carried++
+		}
+	}
+	return live, carried
+}
+
+// ledgerSortedForTest verifies the carried-entry ledger's ordering
+// invariant.
+func (c *Chain) ledgerSortedForTest() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := 1; i < len(c.ledger.ordered); i++ {
+		if !candidateLess(c.ledger.ordered[i-1], c.ledger.ordered[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenEnv is the deterministic participant set of the golden runs.
+type goldenEnv struct {
+	reg   *identity.Registry
+	alice *identity.KeyPair
+	bob   *identity.KeyPair
+}
+
+func newGoldenEnv(t *testing.T) *goldenEnv {
+	t.Helper()
+	reg := identity.NewRegistry()
+	alice := identity.Deterministic("alice", "summary-golden")
+	bob := identity.Deterministic("bob", "summary-golden")
+	for _, kp := range []*identity.KeyPair{alice, bob} {
+		if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &goldenEnv{reg: reg, alice: alice, bob: bob}
+}
+
+// driveGolden runs a deterministic mixed workload — plain data,
+// temporaries expiring by time and by block, dependencies, and deletion
+// requests — comparing the two planners byte-for-byte at every summary
+// slot and the incremental Stats counters against a full recount after
+// every block. It returns the hex hash of every summary block produced.
+func driveGolden(t *testing.T, c *Chain, env *goldenEnv, rounds int) []string {
+	t.Helper()
+	var hashes []string
+	var aliceRefs []block.Ref
+	deleted := 0
+
+	checkSummaries := func() {
+		for c.NextIsSummary() {
+			inc, ref, incPlan, refPlan := c.buildSummaryBothForTest()
+			if incPlan != refPlan {
+				t.Fatalf("plan mismatch at block %d: incremental %+v, reference %+v",
+					inc.Header.Number, incPlan, refPlan)
+			}
+			if !bytes.Equal(inc.Encode(), ref.Encode()) {
+				t.Fatalf("summary block %d differs: incremental %d carried, reference %d carried",
+					inc.Header.Number, len(inc.Carried), len(ref.Carried))
+			}
+			hashes = append(hashes, inc.Hash().String())
+			if err := c.AppendBlock(inc); err != nil {
+				t.Fatalf("append summary %d: %v", inc.Header.Number, err)
+			}
+		}
+	}
+	checkStats := func() {
+		live, carried := c.recountStatsForTest()
+		s := c.Stats()
+		if s.LiveEntries != live || s.CarriedEntries != carried {
+			t.Fatalf("stats diverged after block %d: incremental live=%d carried=%d, recount live=%d carried=%d",
+				c.Head().Number, s.LiveEntries, s.CarriedEntries, live, carried)
+		}
+		if !c.ledgerSortedForTest() {
+			t.Fatalf("ledger ordering invariant broken after block %d", c.Head().Number)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		checkSummaries()
+		now := c.Head().Time
+		entries := []*block.Entry{
+			block.NewData("alice", []byte(fmt.Sprintf("alice-%03d", r))).Sign(env.alice),
+		}
+		switch r % 3 {
+		case 0:
+			entries = append(entries,
+				block.NewTemporary("bob", []byte(fmt.Sprintf("ttl-time-%03d", r)), now+4, 0).Sign(env.bob))
+		case 1:
+			entries = append(entries,
+				block.NewTemporary("bob", []byte(fmt.Sprintf("ttl-block-%03d", r)), 0, c.Head().Number+5).Sign(env.bob))
+		case 2:
+			if len(aliceRefs) > 0 {
+				dep := aliceRefs[len(aliceRefs)-1]
+				if !c.IsMarked(dep) {
+					entries = append(entries,
+						block.NewData("bob", []byte(fmt.Sprintf("dep-%03d", r))).WithDependsOn(dep).Sign(env.bob))
+				}
+			}
+		}
+		// Every 4th round alice asks to forget an older entry of hers
+		// (§IV-D); some requests target already-cut refs and are
+		// rejected on-chain, which the planners must agree on too.
+		if r%4 == 3 && deleted < len(aliceRefs) {
+			entries = append(entries,
+				block.NewDeletion("alice", aliceRefs[deleted]).Sign(env.alice))
+			deleted++
+		}
+		normal, err := c.BuildNormal(entries)
+		if err != nil {
+			t.Fatalf("round %d: build: %v", r, err)
+		}
+		if err := c.AppendBlock(normal); err != nil {
+			t.Fatalf("round %d: append: %v", r, err)
+		}
+		aliceRefs = append(aliceRefs, block.Ref{Block: normal.Header.Number, Entry: 0})
+		checkStats()
+	}
+	checkSummaries()
+	checkStats()
+	if err := c.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	return hashes
+}
+
+// goldenConfigs are the retention geometries the planners are compared
+// under: both shrink policies, block- and sequence-based limits, floors,
+// and the Fig. 9 redundancy reference.
+func goldenConfigs(reg *identity.Registry) map[string]Config {
+	return map[string]Config{
+		"all-but-newest": {
+			SequenceLength: 3, MaxSequences: 2,
+			Shrink: ShrinkAllButNewest, Registry: reg,
+			Clock: simclock.NewLogical(0),
+		},
+		"minimal": {
+			SequenceLength: 3, MaxBlocks: 9,
+			Shrink: ShrinkMinimal, Registry: reg,
+			Clock: simclock.NewLogical(0),
+		},
+		"minimal-redundancy": {
+			SequenceLength: 4, MaxBlocks: 16, MinBlocks: 6,
+			Shrink: ShrinkMinimal, RedundancyReference: true,
+			Registry: reg, Clock: simclock.NewLogical(0),
+		},
+		"unbounded": {
+			SequenceLength: 3, Registry: reg,
+			Clock: simclock.NewLogical(0),
+		},
+	}
+}
+
+// TestSummaryPlannerGolden asserts that the incremental planner emits
+// byte-identical summary blocks to the naive reference planner across
+// every retention geometry, and pins the resulting block hashes in a
+// golden file so any planner change is a conscious decision
+// (regenerate with `go test ./internal/chain -run Golden -update`).
+func TestSummaryPlannerGolden(t *testing.T) {
+	env := newGoldenEnv(t)
+	got := make(map[string][]string)
+	for name, cfg := range goldenConfigs(env.reg) {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[name] = driveGolden(t, c, env, 40)
+			if len(got[name]) == 0 {
+				t.Fatal("scenario produced no summary blocks")
+			}
+		})
+	}
+
+	goldenPath := filepath.Join("testdata", "summary_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create): %v", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, hashes := range got {
+		wantHashes, ok := want[name]
+		if !ok {
+			t.Errorf("scenario %q missing from golden file (re-run with -update)", name)
+			continue
+		}
+		if len(hashes) != len(wantHashes) {
+			t.Errorf("scenario %q: %d summaries, golden has %d", name, len(hashes), len(wantHashes))
+			continue
+		}
+		for i := range hashes {
+			if hashes[i] != wantHashes[i] {
+				t.Errorf("scenario %q: summary %d hash %s, golden %s", name, i, hashes[i], wantHashes[i])
+				break
+			}
+		}
+	}
+}
+
+// TestSummaryPlannerGoldenAfterRestore persists a mid-scenario chain,
+// restores it (exercising the ledger's merge-insert path: the restored
+// summaries' carried entries have no surviving origin blocks), and
+// checks that both planners still agree while the workload continues.
+func TestSummaryPlannerGoldenAfterRestore(t *testing.T) {
+	env := newGoldenEnv(t)
+	for name, cfg := range goldenConfigs(env.reg) {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveGolden(t, c, env, 25)
+
+			restored, err := Restore(cfg, c.Blocks())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !restored.ledgerSortedForTest() {
+				t.Fatal("restored ledger not sorted")
+			}
+			// Restored counters must be internally consistent with a
+			// full index recount. (They may legitimately differ from the
+			// original chain's: mark reconstruction re-processes the
+			// deletion entries still present, and a request that was
+			// historically rejected because of a since-forgotten
+			// dependent validates on replay — the history proving the
+			// rejection was physically deleted, which is the point of
+			// the system.)
+			live, carried := restored.recountStatsForTest()
+			rs := restored.Stats()
+			if rs.LiveEntries != live || rs.CarriedEntries != carried {
+				t.Fatalf("restored counters live=%d carried=%d, recount live=%d carried=%d",
+					rs.LiveEntries, rs.CarriedEntries, live, carried)
+			}
+			driveGolden(t, restored, env, 15)
+		})
+	}
+}
+
+// TestSummaryPlannerGoldenWithInjectedMarks covers the fault-injection
+// path: marks added without authorization must affect both planners
+// identically.
+func TestSummaryPlannerGoldenWithInjectedMarks(t *testing.T) {
+	env := newGoldenEnv(t)
+	cfg := Config{
+		SequenceLength: 3, MaxSequences: 2,
+		Registry: env.reg, Clock: simclock.NewLogical(0),
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveGolden(t, c, env, 10)
+	// Mark one live entry directly, and one ref that does not exist.
+	for ref := range c.index {
+		c.InjectMarkForTest(ref)
+		break
+	}
+	c.InjectMarkForTest(block.Ref{Block: 1 << 40, Entry: 7})
+	driveGolden(t, c, env, 10)
+}

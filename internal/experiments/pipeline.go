@@ -15,12 +15,17 @@ import (
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/simclock"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // This file benchmarks the concurrent submission pipeline against the
 // single-writer Commit facade it replaces (PR 1): the same pre-signed
 // workload is pushed through Chain.Commit by one caller and through
-// Chain.Submit by 1, 4, and 16 concurrent producers. Unlike the paper
+// Chain.Submit by 1, 4, and 16 concurrent producers. PR 2 adds the
+// verify-parallelism dimension: the 16-producer submission workload is
+// re-measured at GOMAXPROCS 1, 4, and 16 with the verified-signature
+// cache on and off, isolating how much of the throughput comes from the
+// parallel verification pool versus the cache. Unlike the paper
 // reproductions this experiment measures wall-clock throughput, so its
 // numbers vary run to run; the JSON output (`seldel-bench -json`) feeds
 // the repository's performance trajectory.
@@ -41,6 +46,28 @@ type PipelineResult struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
+// VerifyResult is one measured verify-parallelism configuration: the
+// 16-producer submission workload at a pinned GOMAXPROCS, with the
+// verified-signature cache on or off.
+type VerifyResult struct {
+	// GOMAXPROCS is the pinned scheduler width (and verify-pool size).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Cache reports whether the verified-signature cache was enabled.
+	Cache bool `json:"cache"`
+	// Producers is the number of concurrent submitting goroutines.
+	Producers int `json:"producers"`
+	// Entries is the total number of entries written.
+	Entries int `json:"entries"`
+	// Seconds is the measured wall-clock time.
+	Seconds float64 `json:"seconds"`
+	// OpsPerSec is Entries / Seconds.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Verified counts real Ed25519 verifications performed.
+	Verified uint64 `json:"verified"`
+	// CacheHits counts verifications answered from the cache.
+	CacheHits uint64 `json:"cache_hits"`
+}
+
 // PipelineReport is the machine-readable result set written by
 // `seldel-bench -json`.
 type PipelineReport struct {
@@ -52,6 +79,14 @@ type PipelineReport struct {
 	UnixTime   int64            `json:"unix_time"`
 	Results    []PipelineResult `json:"results"`
 	SpeedupX16 float64          `json:"speedup_submit16_vs_commit"`
+	// VerifyResults is the verify-parallelism dimension (PR 2).
+	VerifyResults []VerifyResult `json:"verify_results"`
+	// VerifyPoolSpeedup is submit@16 ops/s at the widest GOMAXPROCS over
+	// GOMAXPROCS=1, cache enabled in both: the parallel-verification win.
+	VerifyPoolSpeedup float64 `json:"verify_pool_speedup"`
+	// VerifyCacheSpeedup is submit@16 ops/s cache-on over cache-off at
+	// the widest GOMAXPROCS: the verified-signature-cache win.
+	VerifyCacheSpeedup float64 `json:"verify_cache_speedup"`
 }
 
 // pipelineEntries pre-signs n entries so signing cost stays out of the
@@ -64,18 +99,33 @@ func pipelineEntries(kp *identity.KeyPair, n int) []*block.Entry {
 	return entries
 }
 
-func pipelineChain(reg *identity.Registry) (*chain.Chain, error) {
+// pipelineChain builds a bench chain verifying through pool. A fresh
+// pool per measurement keeps runs independent: the verified-signature
+// cache never carries results from one configuration into the next.
+func pipelineChain(reg *identity.Registry, pool *verify.Pool) (*chain.Chain, error) {
 	return chain.New(chain.Config{
 		SequenceLength: 8,
 		Registry:       reg,
 		Clock:          simclock.NewLogical(0),
+		Verifier:       pool,
 	})
+}
+
+// freshPool builds one measurement's verification pool.
+func freshPool(workers int, cache bool) *verify.Pool {
+	size := 0
+	if !cache {
+		size = -1
+	}
+	return verify.New(verify.Options{Workers: workers, CacheSize: size})
 }
 
 // measureCommit drives the deprecated single-caller path: one goroutine,
 // one block per call.
 func measureCommit(reg *identity.Registry, entries []*block.Entry) (PipelineResult, error) {
-	c, err := pipelineChain(reg)
+	pool := freshPool(0, true)
+	defer pool.Close()
+	c, err := pipelineChain(reg, pool)
 	if err != nil {
 		return PipelineResult{}, err
 	}
@@ -102,9 +152,18 @@ func measureCommit(reg *identity.Registry, entries []*block.Entry) (PipelineResu
 // concurrent intake), keeps the receipts, and waits for all of them to
 // seal at the end — the pipelined usage pattern the API is for.
 func measureSubmit(reg *identity.Registry, entries []*block.Entry, p int) (PipelineResult, error) {
-	c, err := pipelineChain(reg)
+	r, _, err := measureSubmitWith(reg, entries, p, freshPool(0, true))
+	return r, err
+}
+
+// measureSubmitWith runs the p-producer submission workload through a
+// specific verification pool, returning the pool's final stats alongside
+// the throughput result.
+func measureSubmitWith(reg *identity.Registry, entries []*block.Entry, p int, pool *verify.Pool) (PipelineResult, verify.Stats, error) {
+	defer pool.Close()
+	c, err := pipelineChain(reg, pool)
 	if err != nil {
-		return PipelineResult{}, err
+		return PipelineResult{}, verify.Stats{}, err
 	}
 	defer c.Close()
 	ctx := context.Background()
@@ -136,10 +195,10 @@ func measureSubmit(reg *identity.Registry, entries []*block.Entry, p int) (Pipel
 	elapsed := time.Since(start).Seconds()
 	close(errCh)
 	for err := range errCh {
-		return PipelineResult{}, err
+		return PipelineResult{}, verify.Stats{}, err
 	}
 	if err := c.VerifyIntegrity(); err != nil {
-		return PipelineResult{}, fmt.Errorf("pipeline: integrity after submit(%d): %w", p, err)
+		return PipelineResult{}, verify.Stats{}, fmt.Errorf("pipeline: integrity after submit(%d): %w", p, err)
 	}
 	return PipelineResult{
 		API:       "submit",
@@ -148,7 +207,54 @@ func measureSubmit(reg *identity.Registry, entries []*block.Entry, p int) (Pipel
 		Blocks:    c.Stats().AppendedBlocks,
 		Seconds:   elapsed,
 		OpsPerSec: float64(len(entries)) / elapsed,
-	}, nil
+	}, pool.Stats(), nil
+}
+
+// verifyConfigs are the measured verify-parallelism configurations.
+var verifyConfigs = []struct {
+	procs int
+	cache bool
+}{
+	{1, false}, {1, true},
+	{4, false}, {4, true},
+	{16, false}, {16, true},
+}
+
+// measureVerifyDimension re-runs the 16-producer submission workload at
+// pinned GOMAXPROCS values with the cache on and off. GOMAXPROCS is
+// restored before returning.
+func measureVerifyDimension(reg *identity.Registry, entries []*block.Entry) ([]VerifyResult, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	const producers = 16
+	out := make([]VerifyResult, 0, len(verifyConfigs))
+	for _, cfg := range verifyConfigs {
+		runtime.GOMAXPROCS(cfg.procs)
+		// Best of three, like the commit/submit rows: wall-clock noise
+		// on a shared box would otherwise bias this dimension.
+		var r PipelineResult
+		var vs verify.Stats
+		for i := 0; i < 3; i++ {
+			ri, vsi, err := measureSubmitWith(reg, entries, producers, freshPool(cfg.procs, cfg.cache))
+			if err != nil {
+				return nil, fmt.Errorf("verify dimension (procs=%d cache=%v): %w", cfg.procs, cfg.cache, err)
+			}
+			if ri.OpsPerSec > r.OpsPerSec {
+				r, vs = ri, vsi
+			}
+		}
+		out = append(out, VerifyResult{
+			GOMAXPROCS: cfg.procs,
+			Cache:      cfg.cache,
+			Producers:  producers,
+			Entries:    r.Entries,
+			Seconds:    r.Seconds,
+			OpsPerSec:  r.OpsPerSec,
+			Verified:   vs.Verified,
+			CacheHits:  vs.CacheHits,
+		})
+	}
+	return out, nil
 }
 
 // RunPipelineBench measures Commit (1 caller) vs Submit (1, 4, 16
@@ -198,6 +304,27 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	}
 	last := report.Results[len(report.Results)-1]
 	report.SpeedupX16 = last.OpsPerSec / commit.OpsPerSec
+
+	vr, err := measureVerifyDimension(e.registry, entries)
+	if err != nil {
+		return nil, err
+	}
+	report.VerifyResults = vr
+	opsAt := func(procs int, cache bool) float64 {
+		for _, r := range vr {
+			if r.GOMAXPROCS == procs && r.Cache == cache {
+				return r.OpsPerSec
+			}
+		}
+		return 0
+	}
+	widest := vr[len(vr)-1].GOMAXPROCS
+	if base := opsAt(1, true); base > 0 {
+		report.VerifyPoolSpeedup = opsAt(widest, true) / base
+	}
+	if off := opsAt(widest, false); off > 0 {
+		report.VerifyCacheSpeedup = opsAt(widest, true) / off
+	}
 	return report, nil
 }
 
@@ -234,5 +361,16 @@ func runPipeline(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "submit@16 vs commit@1: %.2fx\n", report.SpeedupX16)
+	tw = newTable(w)
+	fmt.Fprintln(tw, "gomaxprocs\tcache\tops/sec\tverified\thits")
+	for _, r := range report.VerifyResults {
+		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%d\t%d\n", r.GOMAXPROCS, r.Cache, r.OpsPerSec, r.Verified, r.CacheHits)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "verify pool %dx procs: %.2fx; cache: %.2fx\n",
+		report.VerifyResults[len(report.VerifyResults)-1].GOMAXPROCS,
+		report.VerifyPoolSpeedup, report.VerifyCacheSpeedup)
 	return nil
 }

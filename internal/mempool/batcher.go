@@ -8,10 +8,16 @@ import (
 	"time"
 
 	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // DefaultMaxBatch is the flush threshold used when Options.MaxBatch is 0.
 const DefaultMaxBatch = 256
+
+// maxAutoLinger caps the adaptive linger so a mis-measured flush (a cold
+// proof-of-work seal, a disk stall) never turns into a visible stall of
+// the pipeline.
+const maxAutoLinger = 5 * time.Millisecond
 
 // errLedgerContract flags a Ledger.Commit that returned neither blocks
 // nor an error.
@@ -25,10 +31,18 @@ type Options struct {
 	// 0 means DefaultMaxBatch.
 	MaxBatch int
 	// Linger bounds how long the flusher waits for more submissions once
-	// it holds a non-full batch. 0 flushes as soon as the submission
-	// stream goes idle, which maximizes throughput under load and
-	// minimizes latency when traffic is light.
+	// it holds a non-full batch. 0 selects adaptive lingering: while the
+	// stream is idle the flusher seals immediately (lowest latency), but
+	// once concurrent producers actually coalesce, the linger is derived
+	// from the observed flush latency — waiting about one flush worth of
+	// time costs little and stops per-entry waiters on a loaded chain
+	// from sealing near-empty blocks.
 	Linger time.Duration
+	// Warm, when set, is called with each submitted group's entries so
+	// their signatures pre-verify (and populate the verified-signature
+	// cache) while the batch is still being assembled. Failures are
+	// ignored here; sealing re-validates authoritatively.
+	Warm func(entries []*block.Entry)
 }
 
 // group is the unit of submission: all entries of one Submit call, each
@@ -38,7 +52,7 @@ type group struct {
 	tickets []*ticket
 }
 
-// Stats are cumulative pipeline counters.
+// Stats are pipeline counters and backpressure gauges.
 type Stats struct {
 	// Batches counts sealed batches (one normal block each).
 	Batches uint64
@@ -46,6 +60,19 @@ type Stats struct {
 	Entries uint64
 	// Rejected counts entries whose receipts resolved with an error.
 	Rejected uint64
+	// QueueDepth is the number of submission groups waiting in the
+	// intake queue right now; QueueDepth near QueueCap means producers
+	// are about to block (backpressure).
+	QueueDepth int
+	// QueueCap is the intake queue capacity.
+	QueueCap int
+	// AutoLinger is the linger the adaptive tuner is currently applying
+	// (zero while idle, when disabled, or when a fixed Linger is set).
+	AutoLinger time.Duration
+	// Verify is the verification pool's activity snapshot — utilization
+	// and cache effectiveness. Filled by Chain.PipelineStats; zero for a
+	// bare Batcher, which does not own a pool.
+	Verify verify.Stats
 }
 
 // Batcher coalesces concurrently submitted entries into blocks. All
@@ -56,6 +83,7 @@ type Batcher struct {
 	ledger   Ledger
 	maxBatch int
 	linger   time.Duration
+	warm     func([]*block.Entry)
 
 	// mu guards closed; Submit holds it shared for the duration of its
 	// channel sends so Close (exclusive) cannot observe closed=true while
@@ -67,9 +95,16 @@ type Batcher struct {
 	quit chan struct{}
 	done chan struct{}
 
-	batches  atomic.Uint64
-	entries  atomic.Uint64
-	rejected atomic.Uint64
+	// Adaptive-linger state, owned by the flusher goroutine: an EMA of
+	// flush latency and whether the last batch showed actual coalescing
+	// (≥2 groups sealed together, or groups already queued behind it).
+	flushEMA time.Duration
+	loaded   bool
+
+	batches    atomic.Uint64
+	entries    atomic.Uint64
+	rejected   atomic.Uint64
+	autoLinger atomic.Int64
 }
 
 // NewBatcher starts a pipeline sealing through ledger.
@@ -89,6 +124,7 @@ func NewBatcher(ledger Ledger, opts Options) *Batcher {
 		ledger:   ledger,
 		maxBatch: maxBatch,
 		linger:   opts.Linger,
+		warm:     opts.Warm,
 		ch:       make(chan group, depth),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -126,6 +162,13 @@ func (b *Batcher) Submit(ctx context.Context, entries ...*block.Entry) ([]Receip
 		g.tickets[i] = t
 		receipts[i] = Receipt{t: t}
 	}
+	if b.warm != nil {
+		// Pre-verify while the group waits for its batch: the warm hook
+		// dispatches to the verification pool and returns immediately
+		// (or helps verify inline when the pool is saturated), so the
+		// sealing flush later resolves the same signatures from cache.
+		b.warm(g.entries)
+	}
 	select {
 	case b.ch <- g:
 		return receipts, nil
@@ -149,12 +192,15 @@ func (b *Batcher) Close() error {
 	return nil
 }
 
-// Stats returns cumulative pipeline counters.
+// Stats returns the pipeline counters and backpressure gauges.
 func (b *Batcher) Stats() Stats {
 	return Stats{
-		Batches:  b.batches.Load(),
-		Entries:  b.entries.Load(),
-		Rejected: b.rejected.Load(),
+		Batches:    b.batches.Load(),
+		Entries:    b.entries.Load(),
+		Rejected:   b.rejected.Load(),
+		QueueDepth: len(b.ch),
+		QueueCap:   cap(b.ch),
+		AutoLinger: time.Duration(b.autoLinger.Load()),
 	}
 }
 
@@ -182,14 +228,35 @@ func (b *Batcher) run() {
 	}
 }
 
+// effectiveLinger returns the linger to apply to the next batch: the
+// fixed configuration when set, otherwise the adaptive value — one
+// observed flush latency, but only while producers demonstrably
+// coalesce. A lone producer that waits for each receipt never trips the
+// load detector, so light traffic keeps its immediate-flush latency.
+func (b *Batcher) effectiveLinger() time.Duration {
+	if b.linger > 0 {
+		return b.linger
+	}
+	if !b.loaded {
+		b.autoLinger.Store(0)
+		return 0
+	}
+	linger := b.flushEMA
+	if linger > maxAutoLinger {
+		linger = maxAutoLinger
+	}
+	b.autoLinger.Store(int64(linger))
+	return linger
+}
+
 // collect grows a batch from the first group until the threshold is
 // reached or the intake goes idle (after at most one linger period).
 func (b *Batcher) collect(first group) []group {
 	batch := []group{first}
 	size := len(first.entries)
 	var lingerC <-chan time.Time
-	if b.linger > 0 {
-		timer := time.NewTimer(b.linger)
+	if linger := b.effectiveLinger(); linger > 0 {
+		timer := time.NewTimer(linger)
 		defer timer.Stop()
 		lingerC = timer.C
 	}
@@ -228,6 +295,21 @@ const maxFlushRetries = 3
 // Commit primitive can lose a head race against concurrent direct
 // committers and succeed verbatim on retry) before failing the batch.
 func (b *Batcher) flush(batch []group) {
+	// Feed the adaptive linger: remember how long sealing takes (EMA,
+	// weighted 3:1 toward history) and whether this batch showed real
+	// coalescing — more than one group sealed together, or groups
+	// already queued behind it.
+	start := time.Now()
+	groupsIn := len(batch)
+	defer func() {
+		d := time.Since(start)
+		if b.flushEMA == 0 {
+			b.flushEMA = d
+		} else {
+			b.flushEMA = (3*b.flushEMA + d) / 4
+		}
+		b.loaded = groupsIn > 1 || len(b.ch) > 0
+	}()
 	retries := 0
 	for len(batch) > 0 {
 		var entries []*block.Entry

@@ -165,12 +165,13 @@ func (n *Node) handleEntry(env wire.Envelope) {
 }
 
 // AddToMempool queues an entry for inclusion in the next proposed block.
-// Duplicates (by content hash) are ignored by the pending pool.
+// Duplicates (by content hash) are ignored by the pending pool. The
+// shape and signature screen runs through the chain's verification pool,
+// so the later proposal-time validation of the same entry resolves from
+// the verified-signature cache.
 func (n *Node) AddToMempool(e *block.Entry) {
-	if err := e.CheckShape(); err != nil {
-		return
-	}
-	if err := n.Chain().Registry().Verify(e.Owner, e.SigningBytes(), e.Signature); err != nil {
+	c := n.Chain()
+	if err := c.Verifier().Entries(c.Registry(), []*block.Entry{e}); err != nil {
 		return
 	}
 	n.pool.Add(e)

@@ -157,23 +157,35 @@ func (f *File) Range() (uint64, uint64, bool, error) {
 	return nums[0], nums[len(nums)-1], true, nil
 }
 
-// LoadAll implements Store.
+// LoadAll implements Store. Files are read sequentially under the
+// store lock (one syscall stream keeps the directory scan cheap, and a
+// concurrent Close/DeleteBelow cannot race the reads) but decoded
+// concurrently via the shared decode fan-out.
 func (f *File) LoadAll() ([]*block.Block, error) {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
 	nums, err := f.blockNumbersLocked()
-	f.mu.Unlock()
 	if err != nil {
+		f.mu.Unlock()
 		return nil, err
 	}
-	out := make([]*block.Block, 0, len(nums))
-	for _, num := range nums {
-		b, err := f.GetBlock(num)
+	raws := make([][]byte, len(nums))
+	for i, num := range nums {
+		raw, err := os.ReadFile(f.blockPath(num))
 		if err != nil {
-			return nil, err
+			f.mu.Unlock()
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+			}
+			return nil, fmt.Errorf("store: read block %d: %w", num, err)
 		}
-		out = append(out, b)
+		raws[i] = raw
 	}
-	return out, nil
+	f.mu.Unlock()
+	return decodeAll(nums, raws)
 }
 
 // SizeBytes implements Store: total size of all block files.

@@ -10,8 +10,10 @@ package store
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/seldel/seldel/internal/block"
 )
@@ -116,7 +118,9 @@ func (m *Mem) Range() (uint64, uint64, bool, error) {
 	return first, last, true, nil
 }
 
-// LoadAll implements Store.
+// LoadAll implements Store. Blocks decode concurrently: decoding is
+// pure CPU (canonical decode + per-entry allocation), so a restore of a
+// long suffix scales with cores instead of serializing.
 func (m *Mem) LoadAll() ([]*block.Block, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -128,13 +132,57 @@ func (m *Mem) LoadAll() ([]*block.Block, error) {
 		nums = append(nums, num)
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
-	out := make([]*block.Block, 0, len(nums))
-	for _, num := range nums {
-		b, err := block.DecodeBlock(m.blocks[num])
-		if err != nil {
-			return nil, fmt.Errorf("store: block %d: %w", num, err)
+	raws := make([][]byte, len(nums))
+	for i, num := range nums {
+		raws[i] = m.blocks[num]
+	}
+	return decodeAll(nums, raws)
+}
+
+// decodeAll decodes raw blocks in parallel, preserving order. The first
+// failure (by position) is reported.
+func decodeAll(nums []uint64, raws [][]byte) ([]*block.Block, error) {
+	out := make([]*block.Block, len(raws))
+	errs := make([]error, len(raws))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(raws) {
+		workers = len(raws)
+	}
+	if workers <= 1 {
+		for i, raw := range raws {
+			b, err := block.DecodeBlock(raw)
+			if err != nil {
+				return nil, fmt.Errorf("store: block %d: %w", nums[i], err)
+			}
+			out[i] = b
 		}
-		out = append(out, b)
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(raws) {
+					return
+				}
+				b, err := block.DecodeBlock(raws[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("store: block %d: %w", nums[i], err)
+					continue
+				}
+				out[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -315,3 +315,23 @@ func TestRestoreRejectsCorruptSuffix(t *testing.T) {
 		t.Error("misaligned restore accepted")
 	}
 }
+
+func TestLoadAllClosedStores(t *testing.T) {
+	m := NewMem()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadAll(); !errors.Is(err, ErrClosed) {
+		t.Errorf("mem: want ErrClosed, got %v", err)
+	}
+	f, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadAll(); !errors.Is(err, ErrClosed) {
+		t.Errorf("file: want ErrClosed, got %v", err)
+	}
+}

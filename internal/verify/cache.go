@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey is the 32-byte digest binding (public key, message,
+// signature); see cacheKeyFor.
+type cacheKey [32]byte
+
+// cacheShards spreads lock contention across independent LRU shards;
+// the shard is picked from the key's first byte, which is uniformly
+// distributed (the key is a SHA-256 digest).
+const cacheShards = 16
+
+// cache is a sharded LRU set of verified-signature keys.
+type cache struct {
+	shards [cacheShards]lruShard
+}
+
+func newCache(size int) *cache {
+	per := size / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &cache{}
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
+}
+
+func (c *cache) shard(k cacheKey) *lruShard { return &c.shards[int(k[0])%cacheShards] }
+
+func (c *cache) contains(k cacheKey) bool { return c.shard(k).contains(k) }
+
+func (c *cache) add(k cacheKey) { c.shard(k).add(k) }
+
+// lruShard is one mutex-guarded LRU set.
+type lruShard struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are cacheKey
+	items map[cacheKey]*list.Element
+}
+
+func (s *lruShard) init(capacity int) {
+	s.cap = capacity
+	s.order = list.New()
+	s.items = make(map[cacheKey]*list.Element, capacity)
+}
+
+func (s *lruShard) contains(k cacheKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	return ok
+}
+
+func (s *lruShard) add(k cacheKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.order.PushFront(k)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(cacheKey))
+	}
+}

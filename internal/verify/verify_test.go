@@ -1,0 +1,226 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/identity"
+)
+
+func testRegistry(t *testing.T) (*identity.Registry, *identity.KeyPair) {
+	t.Helper()
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("alice", "verify-test")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	return reg, kp
+}
+
+func signedEntries(kp *identity.KeyPair, n int) []*block.Entry {
+	out := make([]*block.Entry, n)
+	for i := range out {
+		out[i] = block.NewData(kp.Name(), []byte(fmt.Sprintf("payload-%d", i))).Sign(kp)
+	}
+	return out
+}
+
+func TestEntriesVerifiesBatch(t *testing.T) {
+	reg, kp := testRegistry(t)
+	for _, workers := range []int{1, 4} {
+		p := New(Options{Workers: workers})
+		if err := p.Entries(reg, signedEntries(kp, 33)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestEntriesReportsFirstBadIndex(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 8)
+	entries[5].Signature[0] ^= 0xff
+	p := New(Options{Workers: 4})
+	err := p.Entries(reg, entries)
+	var ee *EntryError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *EntryError, got %v", err)
+	}
+	if ee.Index != 5 {
+		t.Fatalf("bad index: got %d, want 5", ee.Index)
+	}
+	if !errors.Is(err, identity.ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestEntriesRejectsUnknownOwner(t *testing.T) {
+	reg, _ := testRegistry(t)
+	mallory := identity.Deterministic("mallory", "verify-test")
+	e := block.NewData("mallory", []byte("x")).Sign(mallory)
+	p := New(Options{Workers: 2})
+	if err := p.Entries(reg, []*block.Entry{e}); !errors.Is(err, identity.ErrUnknownIdentity) {
+		t.Fatalf("want ErrUnknownIdentity, got %v", err)
+	}
+}
+
+func TestEntriesRejectsBadShape(t *testing.T) {
+	reg, kp := testRegistry(t)
+	e := block.NewData(kp.Name(), []byte("x")) // unsigned
+	p := New(Options{Workers: 2})
+	if err := p.Entries(reg, []*block.Entry{e}); !errors.Is(err, block.ErrUnsigned) {
+		t.Fatalf("want ErrUnsigned, got %v", err)
+	}
+}
+
+func TestCacheHitsOnReverification(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 16)
+	p := New(Options{Workers: 2, CacheSize: 1024})
+	if err := p.Entries(reg, entries); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats()
+	if err := p.Entries(reg, entries); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Stats()
+	if got := after.CacheHits - before.CacheHits; got != 16 {
+		t.Fatalf("second pass hits: got %d, want 16", got)
+	}
+	if after.Verified != before.Verified {
+		t.Fatalf("second pass performed %d real verifications", after.Verified-before.Verified)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 4)
+	p := New(Options{Workers: 1, CacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if err := p.Entries(reg, entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatalf("disabled cache recorded probes: %+v", s)
+	}
+	if s.Verified != 12 {
+		t.Fatalf("verified: got %d, want 12", s.Verified)
+	}
+}
+
+func TestRejectsMalformedSignatureSizes(t *testing.T) {
+	reg, kp := testRegistry(t)
+	p := New(Options{Workers: 1})
+	for _, n := range []int{1, 63, 65, 128} {
+		e := block.NewData(kp.Name(), []byte("x")).Sign(kp)
+		e.Signature = e.Signature[:0]
+		e.Signature = append(e.Signature, make([]byte, n)...)
+		if err := p.Entries(reg, []*block.Entry{e}); !errors.Is(err, identity.ErrBadSignature) {
+			t.Fatalf("sig len %d: want ErrBadSignature, got %v", n, err)
+		}
+	}
+}
+
+func TestCacheDoesNotConfuseKeys(t *testing.T) {
+	// Two registries map the same name to different keys: a signature
+	// cached under one key must not satisfy the other.
+	regA := identity.NewRegistry()
+	regB := identity.NewRegistry()
+	kpA := identity.Deterministic("alice", "seed-A")
+	kpB := identity.Deterministic("alice", "seed-B")
+	if err := regA.RegisterKey(kpA, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.RegisterKey(kpB, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	e := block.NewData("alice", []byte("payload")).Sign(kpA)
+	p := New(Options{Workers: 1})
+	if err := p.Entries(regA, []*block.Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Entries(regB, []*block.Entry{e}); !errors.Is(err, identity.ErrBadSignature) {
+		t.Fatalf("cross-registry: want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestLRUEvicts(t *testing.T) {
+	c := newCache(cacheShards) // one slot per shard
+	var keys []cacheKey
+	for i := 0; i < 4; i++ {
+		var k cacheKey
+		k[0] = 0 // same shard
+		k[1] = byte(i)
+		keys = append(keys, k)
+		c.add(k)
+	}
+	if c.contains(keys[0]) || c.contains(keys[1]) || c.contains(keys[2]) {
+		t.Fatal("old keys not evicted from full shard")
+	}
+	if !c.contains(keys[3]) {
+		t.Fatal("newest key evicted")
+	}
+}
+
+func TestBlocksVerifiesCarriedEntries(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 3)
+	normal := block.NewNormal(1, 1, block.GenesisPrevHash, entries)
+	carried := []block.CarriedEntry{{OriginBlock: 1, OriginTime: 1, EntryNumber: 0, Entry: entries[0]}}
+	summary := block.NewSummary(2, 1, normal.Hash(), carried, nil)
+	p := New(Options{Workers: 4})
+	if err := p.Blocks(reg, []*block.Block{normal, summary}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a carried signature: Blocks must catch it.
+	bad := entries[0].Clone()
+	bad.Signature[0] ^= 0xff
+	summary2 := block.NewSummary(2, 1, normal.Hash(), []block.CarriedEntry{{OriginBlock: 1, OriginTime: 1, EntryNumber: 0, Entry: bad}}, nil)
+	if err := p.Blocks(reg, []*block.Block{summary2}); !errors.Is(err, identity.ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestCloseStopsWorkersKeepsVerifying(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 8)
+	p := New(Options{Workers: 2})
+	if err := p.Entries(reg, entries); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	// Verification still works after Close (inline on the caller).
+	if err := p.Entries(reg, entries); err != nil {
+		t.Fatalf("after close: %v", err)
+	}
+	s := p.Stats()
+	if s.CacheHits == 0 {
+		t.Fatal("cache not consulted after close")
+	}
+}
+
+func TestConcurrentEntriesRace(t *testing.T) {
+	reg, kp := testRegistry(t)
+	entries := signedEntries(kp, 64)
+	p := New(Options{Workers: 4, CacheSize: 128})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := p.Entries(reg, entries); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/store"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // An Option configures a chain constructed by New.
@@ -221,11 +222,34 @@ func WithMaxBatch(n int) Option {
 }
 
 // WithBatchLinger lets the submission pipeline wait up to d for more
-// entries before sealing a non-full batch. The default (0) seals as soon
-// as the submission stream goes idle.
+// entries before sealing a non-full batch. The default (0) is adaptive:
+// idle streams seal immediately, but once concurrent producers coalesce,
+// the pipeline lingers for about one observed flush latency so loaded
+// chains stop sealing near-empty blocks.
 func WithBatchLinger(d time.Duration) Option {
 	return func(b *builder) error {
 		b.cfg.BatchLinger = d
 		return nil
 	}
+}
+
+// WithVerifier routes all signature verification of the new chain
+// through p instead of the process-wide shared pool — e.g. a pool with
+// a dedicated worker count, or with the verified-signature cache
+// disabled for benchmarking.
+func WithVerifier(p *Verifier) Option {
+	return func(b *builder) error {
+		if p == nil {
+			return fmt.Errorf("%w: nil verifier", ErrConfig)
+		}
+		b.cfg.Verifier = p
+		return nil
+	}
+}
+
+// NewVerifier builds a standalone signature-verification pool. workers
+// 0 means GOMAXPROCS; cacheSize 0 means the default verified-signature
+// cache, negative disables caching.
+func NewVerifier(workers, cacheSize int) *Verifier {
+	return verify.New(verify.Options{Workers: workers, CacheSize: cacheSize})
 }

@@ -73,6 +73,7 @@ import (
 	"github.com/seldel/seldel/internal/schema"
 	"github.com/seldel/seldel/internal/simclock"
 	"github.com/seldel/seldel/internal/store"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // Core chain types.
@@ -103,8 +104,15 @@ type (
 	// Sealed is where a submitted entry ended up: stable Ref, block
 	// number, and block hash.
 	Sealed = mempool.Sealed
-	// PipelineStats are the submission pipeline's cumulative counters.
+	// PipelineStats are the submission pipeline's cumulative counters
+	// and backpressure gauges (intake-queue depth, adaptive linger,
+	// verify-pool utilization).
 	PipelineStats = mempool.Stats
+	// Verifier is the parallel signature-verification pool with the
+	// verified-signature cache; see NewVerifier and WithVerifier.
+	Verifier = verify.Pool
+	// VerifyStats is a snapshot of a Verifier's activity.
+	VerifyStats = verify.Stats
 )
 
 // Block and entry types.
