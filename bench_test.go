@@ -43,6 +43,7 @@ func benchChain(b *testing.B, maxBlocks int) (*chain.Chain, *identity.KeyPair) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(func() { _ = c.Close() })
 	return c, kp
 }
 
@@ -52,9 +53,10 @@ func BenchmarkAppendBounded(b *testing.B) {
 	c, kp := benchChain(b, 60)
 	b.ReportAllocs()
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		e := block.NewData("bench", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-		if _, err := c.Commit([]*block.Entry{e}); err != nil {
+		if _, err := c.SubmitWait(ctx, e); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,15 +129,15 @@ func BenchmarkDeletionRequest(b *testing.B) {
 	for _, live := range []int{120, 960} {
 		b.Run(fmt.Sprintf("live=%d", live), func(b *testing.B) {
 			c, kp := benchChain(b, live)
+			ctx := context.Background()
 			var last block.Ref
 			for c.Len() < live {
-				blocks, err := c.Commit([]*block.Entry{
-					block.NewData("bench", []byte("x")).Sign(kp),
-				})
+				sealed, err := c.SubmitWait(ctx,
+					block.NewData("bench", []byte("x")).Sign(kp))
 				if err != nil {
 					b.Fatal(err)
 				}
-				last = block.Ref{Block: blocks[0].Header.Number, Entry: 0}
+				last = sealed[0].Ref
 			}
 			req := block.NewDeletion("bench", last).Sign(kp)
 			b.ReportAllocs()
@@ -152,13 +154,14 @@ func BenchmarkDeletionRequest(b *testing.B) {
 // BenchmarkLookup is E7's addressing primitive.
 func BenchmarkLookup(b *testing.B) {
 	c, kp := benchChain(b, 960)
+	ctx := context.Background()
 	var last block.Ref
 	for c.Len() < 960 {
-		blocks, err := c.Commit([]*block.Entry{block.NewData("bench", []byte("x")).Sign(kp)})
+		sealed, err := c.SubmitWait(ctx, block.NewData("bench", []byte("x")).Sign(kp))
 		if err != nil {
 			b.Fatal(err)
 		}
-		last = block.Ref{Block: blocks[0].Header.Number, Entry: 0}
+		last = sealed[0].Ref
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -173,11 +176,12 @@ func BenchmarkLookup(b *testing.B) {
 // TTL and merges continuously expire old ones.
 func BenchmarkTTLExpiry(b *testing.B) {
 	c, kp := benchChain(b, 60)
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := block.NewTemporary("bench", []byte("log line"), 0, c.NextNumber()+30).Sign(kp)
-		if _, err := c.Commit([]*block.Entry{e}); err != nil {
+		if _, err := c.SubmitWait(ctx, e); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,11 +263,13 @@ func BenchmarkConsensus(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer c.Close()
+			ctx := context.Background()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := block.NewData("bench", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-				if _, err := c.Commit([]*block.Entry{e}); err != nil {
+				if _, err := c.SubmitWait(ctx, e); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -276,8 +282,9 @@ func BenchmarkConsensus(b *testing.B) {
 // only chains traceable from their status quo).
 func BenchmarkVerifyIntegrity(b *testing.B) {
 	c, kp := benchChain(b, 240)
+	ctx := context.Background()
 	for c.Len() < 240 {
-		if _, err := c.Commit([]*block.Entry{block.NewData("bench", []byte("x")).Sign(kp)}); err != nil {
+		if _, err := c.SubmitWait(ctx, block.NewData("bench", []byte("x")).Sign(kp)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -49,13 +49,19 @@ func run(args []string) error {
 			fmt.Printf("%-7s producers=%-2d entries=%-6d blocks=%-5d %10.0f ops/sec\n",
 				r.API, r.Producers, r.Entries, r.Blocks, r.OpsPerSec)
 		}
-		fmt.Printf("submit@16 vs commit@1: %.2fx\n", report.SpeedupX16)
+		fmt.Printf("submit@16 vs serial@1: %.2fx\n", report.SpeedupX16)
 		for _, r := range report.VerifyResults {
 			fmt.Printf("verify  gomaxprocs=%-2d cache=%-5v entries=%-6d %10.0f ops/sec (ed25519=%d, hits=%d)\n",
 				r.GOMAXPROCS, r.Cache, r.Entries, r.OpsPerSec, r.Verified, r.CacheHits)
 		}
-		fmt.Printf("verify pool: %.2fx; cache: %.2fx — wrote %s\n",
-			report.VerifyPoolSpeedup, report.VerifyCacheSpeedup, *jsonPath)
+		fmt.Printf("verify pool: %.2fx; cache: %.2fx\n",
+			report.VerifyPoolSpeedup, report.VerifyCacheSpeedup)
+		for _, r := range report.DeletionResults {
+			fmt.Printf("delete  producers=%-2d deletions=%-5d %10.0f del/sec  append=%.0fus  truncations=%d compacted=%d\n",
+				r.Producers, r.Deletions, r.DeletionsPerSec, r.AvgAppendMicros,
+				r.Truncations, r.BlocksCompacted)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}
 	if *id != "" {

@@ -88,6 +88,11 @@ func run() error {
 	if _, _, ok := chain.Lookup(secret); ok {
 		return fmt.Errorf("entry still resolvable after deletion")
 	}
+	// Physical cleanup (block-file unlinking) runs on the background
+	// compactor; barrier on it before measuring the directory.
+	if err := chain.CompactWait(ctx); err != nil {
+		return err
+	}
 	sizeOnDisk, err := store.SizeBytes()
 	if err != nil {
 		return err

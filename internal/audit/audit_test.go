@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -158,7 +159,7 @@ func TestQueryCoversCarriedEntriesAndSkipsMarked(t *testing.T) {
 	}
 	// Mark BRAVO's entry: it must vanish from queries immediately.
 	del := block.NewDeletion("BRAVO", bravoRef).Sign(keys["BRAVO"])
-	if _, err := c.Commit([]*block.Entry{del}); err != nil {
+	if _, err := c.SubmitWait(context.Background(), del); err != nil {
 		t.Fatal(err)
 	}
 	hits, err = logger.Query(QueryOptions{})
@@ -177,11 +178,11 @@ func TestTemporaryEntryExpires(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks, err := c.Commit([]*block.Entry{entry})
+	sealed, err := c.SubmitWait(context.Background(), entry)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := block.Ref{Block: blocks[0].Header.Number, Entry: 0}
+	ref := sealed[0].Ref
 	for i := 0; i < 10; i++ {
 		if _, err := c.AppendEmpty(); err != nil {
 			t.Fatal(err)

@@ -173,36 +173,64 @@ var (
 	ErrRootMismatch = errors.New("block: entries root mismatch")
 )
 
+// rootThreshold is the entry count below which fanning commitment
+// building across a Runner costs more than it saves.
+const rootThreshold = 32
+
 // EntriesRoot computes the Merkle root over the canonical encodings of a
 // normal block's entries.
-func EntriesRoot(entries []*Entry) codec.Hash {
+func EntriesRoot(entries []*Entry) codec.Hash { return EntriesRootWith(nil, entries) }
+
+// EntriesRootWith is EntriesRoot with the per-entry encoding and leaf
+// hashing fanned out across r (nil runs serially). The root is
+// identical to EntriesRoot's.
+func EntriesRootWith(r merkle.Runner, entries []*Entry) codec.Hash {
 	leaves := make([][]byte, len(entries))
-	for i, e := range entries {
-		leaves[i] = e.Encode()
+	if r != nil && len(entries) >= rootThreshold {
+		r.Each(len(entries), func(i int) { leaves[i] = entries[i].Encode() })
+	} else {
+		for i, e := range entries {
+			leaves[i] = e.Encode()
+		}
 	}
-	return merkle.Build(leaves).Root()
+	return merkle.BuildWith(r, leaves).Root()
 }
 
 // CarriedRoot computes the Merkle root over the canonical encodings of a
 // summary block's carried entries.
-func CarriedRoot(carried []CarriedEntry) codec.Hash {
+func CarriedRoot(carried []CarriedEntry) codec.Hash { return CarriedRootWith(nil, carried) }
+
+// CarriedRootWith is CarriedRoot fanned out across r, like
+// EntriesRootWith.
+func CarriedRootWith(r merkle.Runner, carried []CarriedEntry) codec.Hash {
 	leaves := make([][]byte, len(carried))
-	for i, c := range carried {
-		leaves[i] = c.Encode()
+	if r != nil && len(carried) >= rootThreshold {
+		r.Each(len(carried), func(i int) { leaves[i] = carried[i].Encode() })
+	} else {
+		for i, c := range carried {
+			leaves[i] = c.Encode()
+		}
 	}
-	return merkle.Build(leaves).Root()
+	return merkle.BuildWith(r, leaves).Root()
 }
 
 // NewNormal assembles an unmined normal block on top of the given
 // predecessor hash. The caller (consensus engine) seals it afterwards.
 func NewNormal(number, time uint64, prevHash codec.Hash, entries []*Entry) *Block {
+	return NewNormalWith(nil, number, time, prevHash, entries)
+}
+
+// NewNormalWith is NewNormal with the entries commitment built across
+// r — the chain passes its verification pool so block assembly under
+// load uses every core.
+func NewNormalWith(r merkle.Runner, number, time uint64, prevHash codec.Hash, entries []*Entry) *Block {
 	return &Block{
 		Header: Header{
 			Kind:        KindNormal,
 			Number:      number,
 			Time:        time,
 			PrevHash:    prevHash,
-			EntriesRoot: EntriesRoot(entries),
+			EntriesRoot: EntriesRootWith(r, entries),
 		},
 		Entries: entries,
 	}
@@ -212,13 +240,20 @@ func NewNormal(number, time uint64, prevHash codec.Hash, entries []*Entry) *Bloc
 // timestamp equals the timestamp of the preceding block (prevTime), its
 // content is fully deterministic, and it is never mined (zero nonce).
 func NewSummary(number, prevTime uint64, prevHash codec.Hash, carried []CarriedEntry, seqRef *SequenceRef) *Block {
+	return NewSummaryWith(nil, number, prevTime, prevHash, carried, seqRef)
+}
+
+// NewSummaryWith is NewSummary with the carried commitment built across
+// r. The block is bit-identical to NewSummary's — parallelism never
+// changes Σ, which the golden tests pin.
+func NewSummaryWith(r merkle.Runner, number, prevTime uint64, prevHash codec.Hash, carried []CarriedEntry, seqRef *SequenceRef) *Block {
 	b := &Block{
 		Header: Header{
 			Kind:        KindSummary,
 			Number:      number,
 			Time:        prevTime,
 			PrevHash:    prevHash,
-			EntriesRoot: CarriedRoot(carried),
+			EntriesRoot: CarriedRootWith(r, carried),
 		},
 		Carried: carried,
 		SeqRef:  seqRef,

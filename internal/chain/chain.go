@@ -6,6 +6,7 @@
 package chain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/mempool"
@@ -95,6 +97,12 @@ type Config struct {
 	// batch once the submission stream goes idle. 0 flushes immediately
 	// on idle (lowest latency; batches still fill under load).
 	BatchLinger time.Duration
+	// Compaction parameterizes the background compactor that executes
+	// the physical side of truncation (memory release, dependency-graph
+	// sweep, store pruning via OnTruncate) off the append path. The
+	// zero value is the asynchronous default; set Synchronous to run
+	// that work inline on the append path instead.
+	Compaction compact.Options
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -180,14 +188,18 @@ type Mark struct {
 	MarkedAtBlock uint64
 }
 
-// Listener observes chain mutations. Callbacks run synchronously after
-// the mutation completed and the chain lock was released; implementations
-// must not mutate the chain reentrantly from callbacks.
+// Listener observes chain mutations. OnAppend runs synchronously after
+// the mutation completed and the chain lock was released; OnTruncate
+// runs on the background compactor's goroutine, off the append path
+// (CompactWait barriers on it). Implementations must not mutate the
+// chain reentrantly from callbacks.
 type Listener interface {
 	// OnAppend fires for every appended block (normal and summary).
 	OnAppend(b *block.Block)
-	// OnTruncate fires after a marker shift physically removed the
-	// blocks with numbers in [oldMarker, newMarker).
+	// OnTruncate fires after a marker shift logically removed the
+	// blocks with numbers in [oldMarker, newMarker), when the
+	// compactor executes the physical cleanup. Store implementations
+	// prune here.
 	OnTruncate(oldMarker, newMarker uint64)
 }
 
@@ -257,6 +269,12 @@ type Chain struct {
 	pipeMu     sync.Mutex
 	pipe       atomic.Pointer[mempool.Batcher]
 	pipeClosed bool
+
+	// comp is the lazily started background compactor executing the
+	// physical side of truncation; same lifecycle discipline as pipe.
+	compMu     sync.Mutex
+	comp       atomic.Pointer[compact.Compactor]
+	compClosed bool
 }
 
 // New creates a chain with a fresh genesis block (number 0, previous hash
@@ -526,21 +544,26 @@ func (c *Chain) BuildNormal(entries []*block.Entry) (*block.Block, error) {
 	if err := c.validateDepsLocked(entries); err != nil {
 		return nil, err
 	}
-	return block.NewNormal(next, c.cfg.Clock.Tick(), c.head().Hash(), entries), nil
+	return block.NewNormalWith(c.cfg.Verifier, next, c.cfg.Clock.Tick(), c.head().Hash(), entries), nil
 }
 
 // AppendBlock validates and appends a block received from consensus or
 // gossip. Summary blocks are compared bit-for-bit against the locally
 // computed summary (§IV-B); a mismatch signals a fork. Entry signatures
-// of normal blocks verify in parallel before the chain lock is taken —
-// but only after the cheap chain-position screen, so a flood of stale
-// or mispositioned blocks is rejected in O(1) instead of costing one
-// Ed25519 check per entry. The chain-state-dependent rules (hash link,
-// slot kind, dependencies, seal) are re-checked under the lock.
+// of normal blocks — including the co-signatures of deletion requests —
+// verify in parallel before the chain lock is taken, but only after the
+// cheap chain-position screen, so a flood of stale or mispositioned
+// blocks is rejected in O(1) instead of costing one Ed25519 check per
+// entry. The chain-state-dependent rules (hash link, slot kind,
+// dependencies, seal, deletion cohesion) are checked under the lock,
+// consuming the precomputed signature verdicts. Truncation triggered by
+// a summary block is executed logically under the lock; its physical
+// side is handed to the background compactor (see CompactWait).
 func (c *Chain) AppendBlock(b *block.Block) error {
 	if err := b.CheckShape(); err != nil {
 		return err
 	}
+	var checks cosigChecks
 	if !b.IsSummary() {
 		if err := c.screenPosition(b); err != nil {
 			return err
@@ -548,15 +571,46 @@ func (c *Chain) AppendBlock(b *block.Block) error {
 		if err := c.verifyEntries(b.Entries); err != nil {
 			return err
 		}
+		checks = c.precheckDeletions(b.Entries)
 	}
 	c.mu.Lock()
-	events, err := c.appendLocked(b)
+	events, err := c.appendLocked(b, checks)
 	c.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	events.fire(c.listenersSnapshot())
+	for _, l := range c.listenersSnapshot() {
+		for _, ab := range events.appended {
+			l.OnAppend(ab)
+		}
+	}
+	if events.truncated != nil {
+		c.compactor().Enqueue(*events.truncated)
+	}
 	return nil
+}
+
+// cosigChecks holds the lock-free co-signature prechecks of a candidate
+// batch, keyed by the entry's position. Entries without a precheck fail
+// closed (zero CoSigCheck approves nobody).
+type cosigChecks map[int]deletion.CoSigCheck
+
+// precheckDeletions batch-verifies the co-signatures of every deletion
+// entry in the batch through the verification pool, WITHOUT taking the
+// chain lock — the signature half of §IV-D authorization. Returns nil
+// when the batch holds no deletion entries.
+func (c *Chain) precheckDeletions(entries []*block.Entry) cosigChecks {
+	var checks cosigChecks
+	for i, e := range entries {
+		if e.Kind != block.KindDeletion {
+			continue
+		}
+		if checks == nil {
+			checks = make(cosigChecks)
+		}
+		checks[i] = deletion.PrecheckRequest(c.cfg.Verifier, c.cfg.Registry, e)
+	}
+	return checks
 }
 
 // screenPosition cheaply pre-checks a candidate block's chain position
@@ -584,18 +638,7 @@ func (c *Chain) screenPosition(b *block.Block) error {
 
 type chainEvents struct {
 	appended  []*block.Block
-	truncated *[2]uint64
-}
-
-func (ev chainEvents) fire(ls []Listener) {
-	for _, l := range ls {
-		for _, b := range ev.appended {
-			l.OnAppend(b)
-		}
-		if ev.truncated != nil {
-			l.OnTruncate(ev.truncated[0], ev.truncated[1])
-		}
-	}
+	truncated *compact.Event
 }
 
 func (c *Chain) listenersSnapshot() []Listener {
@@ -607,9 +650,10 @@ func (c *Chain) listenersSnapshot() []Listener {
 }
 
 // appendLocked applies the chain-state-dependent checks and mutations of
-// an append. Shape and entry signatures were already verified lock-free
-// by AppendBlock.
-func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
+// an append. Shape, entry signatures, and deletion co-signatures were
+// already verified lock-free by AppendBlock; checks carries the
+// co-signature verdicts for the batch's deletion entries.
+func (c *Chain) appendLocked(b *block.Block, checks cosigChecks) (chainEvents, error) {
 	var events chainEvents
 	head := c.head()
 	next := head.Header.Number + 1
@@ -632,8 +676,16 @@ func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
 		}
 		c.pushBlock(b)
 		events.appended = append(events.appended, b)
-		if tr := c.applyPlanLocked(plan); tr != nil {
-			events.truncated = tr
+		if ev := c.applyPlanLocked(plan); ev != nil {
+			// Stage the physical work while still under the chain lock:
+			// the compactor's intake is non-blocking, and staging here
+			// is what keeps truncation events in marker order across
+			// concurrent appenders. A synchronous (or closed) compactor
+			// instead runs inline after the lock is released —
+			// AppendBlock executes events.truncated then.
+			if !c.compactor().TryEnqueue(*ev) {
+				events.truncated = ev
+			}
 		}
 		return events, nil
 	}
@@ -651,7 +703,7 @@ func (c *Chain) appendLocked(b *block.Block) (chainEvents, error) {
 		return events, err
 	}
 	c.pushBlock(b)
-	c.processNormal(b)
+	c.processNormal(b, checks)
 	events.appended = append(events.appended, b)
 	return events, nil
 }
@@ -697,7 +749,10 @@ func (c *Chain) pushBlock(b *block.Block) {
 
 // processNormal applies the side effects of a freshly appended normal
 // block: dependency registration and deletion-request processing.
-func (c *Chain) processNormal(b *block.Block) {
+// checks holds the lock-free co-signature verdicts of the block's
+// deletion entries (precheckDeletions), so no signature is verified
+// while the chain lock is held.
+func (c *Chain) processNormal(b *block.Block, checks cosigChecks) {
 	num := b.Header.Number
 	for i, e := range b.Entries {
 		ref := block.Ref{Block: num, Entry: uint32(i)}
@@ -707,7 +762,7 @@ func (c *Chain) processNormal(b *block.Block) {
 				c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: e.Owner})
 			}
 		case block.KindDeletion:
-			c.processDeletionRequest(e, ref, num)
+			c.processDeletionRequest(e, ref, num, checks[i])
 		}
 	}
 }
@@ -715,14 +770,15 @@ func (c *Chain) processNormal(b *block.Block) {
 // processDeletionRequest validates a deletion request against §IV-D and
 // creates a mark on success. Invalid requests stay in the chain but have
 // no effect ("wrong request of deletions can be included in the
-// blockchain, but these have no further effects", §V).
-func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock uint64) {
+// blockchain, but these have no further effects", §V). The co-signature
+// verdicts arrive precomputed; only the stateful rules run here.
+func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock uint64, pre deletion.CoSigCheck) {
 	target, _, ok := c.lookup(e.Target)
 	if !ok {
 		c.stats.RejectedRequests++
 		return
 	}
-	if err := c.auth.ValidateRequest(e, target, c.liveDependents(e.Target)); err != nil {
+	if err := c.auth.ValidateRequestPrechecked(e, target, c.liveDependents(e.Target), pre); err != nil {
 		c.stats.RejectedRequests++
 		return
 	}
@@ -764,32 +820,34 @@ func (c *Chain) liveDependents(target block.Ref) []deletion.Dependent {
 // CheckDeletionRequest eagerly validates a deletion request without
 // appending anything, so clients learn about rejections before paying for
 // a block (§IV-D). The chain still tolerates invalid requests on-chain.
+// Co-signatures verify through the pool before the read lock is taken.
 func (c *Chain) CheckDeletionRequest(e *block.Entry) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if e.Kind != block.KindDeletion {
 		return fmt.Errorf("%w: not a deletion entry", ErrEntryInvalid)
 	}
+	pre := deletion.PrecheckRequest(c.cfg.Verifier, c.cfg.Registry, e)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	target, _, ok := c.lookup(e.Target)
 	if !ok {
 		return fmt.Errorf("%w: target %s", ErrNotFound, e.Target)
 	}
-	return c.auth.ValidateRequest(e, target, c.liveDependents(e.Target))
+	return c.auth.ValidateRequestPrechecked(e, target, c.liveDependents(e.Target), pre)
 }
 
-// Commit builds, seals, and appends a normal block holding entries, then
+// commit builds, seals, and appends a normal block holding entries, then
 // automatically creates and appends the summary block if the following
 // slot is a summary slot (the consensus-extension behaviour of §IV-B).
 // It returns every block appended (one or two).
 //
-// Commit is the single-writer sealing primitive: concurrent Commit calls
-// do not corrupt the chain, but they can fail with ErrNotNext when they
-// race for the same head slot. Application code should use Submit, which
-// serializes and batches concurrent producers through the submission
-// pipeline; Commit remains exported for deterministic simulations and as
-// the primitive the pipeline seals through, and the root-package facade
-// documents its deprecation window.
-func (c *Chain) Commit(entries []*block.Entry) ([]*block.Block, error) {
+// commit is the single-writer sealing primitive behind the submission
+// pipeline: concurrent calls do not corrupt the chain, but they can fail
+// with ErrNotNext when they race for the same head slot. The pipeline's
+// single flusher serializes them; everything else writes through Submit.
+// (The exported Chain.Commit facade was removed at the end of its
+// deprecation window — use Submit/SubmitWait, or AppendEmpty for filler
+// blocks.)
+func (c *Chain) commit(entries []*block.Entry) ([]*block.Block, error) {
 	normal, err := c.BuildNormal(entries)
 	if err != nil {
 		return nil, err
@@ -818,9 +876,11 @@ func (c *Chain) Commit(entries []*block.Entry) ([]*block.Block, error) {
 
 // AppendEmpty appends an empty filler block (and any due summary block).
 // Deployed "to prevent a long delay in deletion … by regularly adding
-// empty blocks … if no transaction has occurred" (§IV-D.3).
+// empty blocks … if no transaction has occurred" (§IV-D.3). Like Submit
+// it can lose a head race against concurrent writers (ErrNotNext);
+// retention tickers simply retry on the next tick.
 func (c *Chain) AppendEmpty() ([]*block.Block, error) {
-	return c.Commit(nil)
+	return c.commit(nil)
 }
 
 // VerifyIntegrity re-validates the whole live chain: hash links, body
@@ -861,4 +921,82 @@ func (c *Chain) HeadHash() codec.Hash {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.head().Hash()
+}
+
+// compactor lazily starts the background compactor on the first
+// truncation. After Close it returns the retained instance, whose
+// Enqueue runs inline. Read-only paths (PipelineStats, CompactWait)
+// deliberately avoid this accessor while the pointer is nil, so a
+// monitoring loop never spawns the goroutine.
+func (c *Chain) compactor() *compact.Compactor {
+	if k := c.comp.Load(); k != nil {
+		return k
+	}
+	c.compMu.Lock()
+	defer c.compMu.Unlock()
+	if k := c.comp.Load(); k != nil {
+		return k
+	}
+	opts := c.cfg.Compaction
+	if c.compClosed {
+		// Started after Close: run inline, nothing to shut down later.
+		opts.Synchronous = true
+	}
+	k := compact.New(c.runCompaction, opts)
+	c.comp.Store(k)
+	return k
+}
+
+// runCompaction executes the physical side of one truncation: release
+// the cut prefix's memory, sweep dead dependency edges, then let the
+// listeners prune their stores. The logical truncation (marker shift,
+// entry-index sweep, ledger prune) already happened under the append
+// lock — validation correctness never waits for the compactor.
+func (c *Chain) runCompaction(ev compact.Event) {
+	c.mu.Lock()
+	// Copy the live slice into a fresh backing array so the cut prefix
+	// (still pinned by the shared array after the appender's cheap
+	// re-slice) becomes collectable.
+	c.blocks = append(make([]*block.Block, 0, len(c.blocks)+8), c.blocks...)
+	// Sweep the dependency graph: drop edges whose endpoints died.
+	// liveDependents filters through the entry index, so stale edges
+	// are invisible in the meantime — this is pure space reclamation.
+	for target, deps := range c.dependents {
+		if _, ok := c.index[target]; !ok {
+			delete(c.dependents, target)
+			continue
+		}
+		kept := deps[:0]
+		for _, dep := range deps {
+			if _, ok := c.index[dep.Ref]; ok {
+				kept = append(kept, dep)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.dependents, target)
+		} else {
+			c.dependents[target] = kept
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range c.listenersSnapshot() {
+		l.OnTruncate(ev.OldMarker, ev.NewMarker)
+	}
+}
+
+// CompactWait blocks until every truncation that happened before the
+// call has been physically compacted (memory released, stores pruned,
+// OnTruncate listeners notified), or ctx is cancelled. It is the
+// determinism barrier for tests and experiments that assert on
+// post-truncation state; on a never-truncated chain it returns
+// immediately (without starting the compactor).
+func (c *Chain) CompactWait(ctx context.Context) error {
+	c.compMu.Lock()
+	k := c.comp.Load()
+	c.compMu.Unlock()
+	if k == nil {
+		// No compactor means no truncation was ever staged.
+		return nil
+	}
+	return k.Wait(ctx)
 }

@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -70,16 +71,16 @@ func newChain(t *testing.T, cfg Config) *Chain {
 	return c
 }
 
-func mustCommit(t *testing.T, c *Chain, entries ...*block.Entry) []*block.Block {
+func mustSeal(t *testing.T, c *Chain, entries ...*block.Entry) []*block.Block {
 	t.Helper()
-	blocks, err := c.Commit(entries)
+	blocks, err := c.commit(entries)
 	if err != nil {
-		t.Fatalf("Commit: %v", err)
+		t.Fatalf("seal: %v", err)
 	}
 	return blocks
 }
 
-func TestNewChainGenesis(t *testing.T) {
+func TestNewGenesis(t *testing.T) {
 	env := newEnv(t, "alpha")
 	c := newChain(t, defaultConfig(env))
 	head := c.Head()
@@ -120,13 +121,13 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestCommitCreatesSummaryAtSlot(t *testing.T) {
+func TestSealCreatesSummaryAtSlot(t *testing.T) {
 	env := newEnv(t, "alpha")
 	c := newChain(t, defaultConfig(env))
 	// Block 1 (normal) then block 2 must be the summary slot for l=3.
-	blocks := mustCommit(t, c, env.data("alpha", "first"))
+	blocks := mustSeal(t, c, env.data("alpha", "first"))
 	if len(blocks) != 2 {
-		t.Fatalf("Commit returned %d blocks, want normal+summary", len(blocks))
+		t.Fatalf("seal returned %d blocks, want normal+summary", len(blocks))
 	}
 	if blocks[0].IsSummary() || !blocks[1].IsSummary() {
 		t.Error("block kinds wrong")
@@ -158,7 +159,7 @@ func TestSummarySlotArithmetic(t *testing.T) {
 func TestLookupAndConfirmations(t *testing.T) {
 	env := newEnv(t, "alpha", "bravo")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("alpha", "a1"), env.data("bravo", "b1"))
+	mustSeal(t, c, env.data("alpha", "a1"), env.data("bravo", "b1"))
 
 	ref := block.Ref{Block: 1, Entry: 1}
 	e, loc, ok := c.Lookup(ref)
@@ -310,7 +311,7 @@ func TestDeterministicAcrossChains(t *testing.T) {
 
 	for i := 0; i < 10; i++ {
 		entries := []*block.Entry{env.data("alpha", fmt.Sprintf("payload-%d", i))}
-		blocks, err := c1.Commit(entries)
+		blocks, err := c1.commit(entries)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +357,12 @@ func TestListenerEvents(t *testing.T) {
 	// Drive past the first merge: with l=3, MaxSequences=1, the summary
 	// at block 5 must merge sequence 0 and shift the marker to 3.
 	for i := 0; i < 4; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("p%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("p%d", i)))
+	}
+	// OnTruncate fires on the compactor goroutine; barrier before
+	// asserting (the barrier also orders the listener's writes).
+	if err := c.CompactWait(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 	if appended == 0 {
 		t.Error("no OnAppend events")
@@ -396,7 +402,7 @@ func TestSealHooks(t *testing.T) {
 		return nil
 	}
 	c := newChain(t, cfg)
-	blocks := mustCommit(t, c, env.data("alpha", "x"))
+	blocks := mustSeal(t, c, env.data("alpha", "x"))
 	if sealed != 1 {
 		t.Errorf("sealed %d blocks, want 1 (summaries are never sealed)", sealed)
 	}
@@ -419,9 +425,9 @@ func TestStatsCounters(t *testing.T) {
 	cfg.Shrink = ShrinkMinimal
 	c := newChain(t, cfg)
 
-	mustCommit(t, c, env.data("alpha", "keep"), env.data("bravo", "kill"))
+	mustSeal(t, c, env.data("alpha", "keep"), env.data("bravo", "kill"))
 	target := block.Ref{Block: 1, Entry: 1}
-	mustCommit(t, c, env.del("bravo", target))
+	mustSeal(t, c, env.del("bravo", target))
 
 	s := c.Stats()
 	if s.ActiveMarks != 1 {
@@ -429,7 +435,7 @@ func TestStatsCounters(t *testing.T) {
 	}
 	// Drive until the mark executes.
 	for i := 0; i < 6 && c.Stats().ActiveMarks > 0; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("f%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("f%d", i)))
 	}
 	s = c.Stats()
 	if s.ActiveMarks != 0 {
@@ -459,7 +465,7 @@ func TestStatsCounters(t *testing.T) {
 func TestCheckDeletionRequestEagerValidation(t *testing.T) {
 	env := newEnv(t, "alpha", "bravo")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("alpha", "mine"))
+	mustSeal(t, c, env.data("alpha", "mine"))
 
 	// Bravo may not delete alpha's entry.
 	bad := env.del("bravo", block.Ref{Block: 1, Entry: 0})
@@ -491,7 +497,7 @@ func TestHeadAndNextNumber(t *testing.T) {
 	if c.NextIsSummary() {
 		t.Error("block 1 must not be a summary slot")
 	}
-	mustCommit(t, c, env.data("alpha", "x"))
+	mustSeal(t, c, env.data("alpha", "x"))
 	if c.NextNumber() != 3 {
 		t.Errorf("NextNumber after summary = %d, want 3", c.NextNumber())
 	}
@@ -501,7 +507,7 @@ func TestBlocksSnapshotIsolation(t *testing.T) {
 	env := newEnv(t, "alpha")
 	c := newChain(t, defaultConfig(env))
 	snap := c.Blocks()
-	mustCommit(t, c, env.data("alpha", "x"))
+	mustSeal(t, c, env.data("alpha", "x"))
 	if len(snap) != 1 {
 		t.Error("snapshot mutated by later append")
 	}

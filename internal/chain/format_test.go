@@ -12,7 +12,7 @@ import (
 func TestRenderPayloadHeuristics(t *testing.T) {
 	env := newEnv(t, "alpha")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c,
+	mustSeal(t, c,
 		env.data("alpha", "printable text"),
 		block.NewData("alpha", []byte{0x00, 0x01, 0xFF}).Sign(env.keys["alpha"]),
 		block.NewData("alpha", nil).Sign(env.keys["alpha"]),
@@ -32,7 +32,7 @@ func TestRenderPayloadHeuristics(t *testing.T) {
 func TestRenderHideMarkerAndCustomPayload(t *testing.T) {
 	env := newEnv(t, "alpha")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("alpha", "x"))
+	mustSeal(t, c, env.data("alpha", "x"))
 	out := c.RenderString(&RenderOptions{
 		HideMarker:  true,
 		PayloadText: func([]byte) string { return "<redacted>" },
@@ -52,7 +52,7 @@ func TestRenderSequenceReference(t *testing.T) {
 	cfg.MaxSequences = 4
 	c := newChain(t, cfg)
 	for i := 0; i < 8; i++ {
-		mustCommit(t, c, env.data("alpha", "x"))
+		mustSeal(t, c, env.data("alpha", "x"))
 	}
 	out := c.RenderString(nil)
 	if !strings.Contains(out, "ref w[") {
@@ -60,7 +60,7 @@ func TestRenderSequenceReference(t *testing.T) {
 	}
 }
 
-func TestConcurrentReadersDuringCommits(t *testing.T) {
+func TestConcurrentReadersDuringSeals(t *testing.T) {
 	env := newEnv(t, "alpha")
 	cfg := defaultConfig(env)
 	cfg.MaxSequences = 1
@@ -90,7 +90,7 @@ func TestConcurrentReadersDuringCommits(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 50; i++ {
-		mustCommit(t, c, env.data("alpha", "payload"))
+		mustSeal(t, c, env.data("alpha", "payload"))
 	}
 	close(stop)
 	wg.Wait()
@@ -111,9 +111,9 @@ func TestRestoreReconstructsMarks(t *testing.T) {
 		Clock:          simclock.NewLogical(0),
 	}
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("alpha", "victim"))
+	mustSeal(t, c, env.data("alpha", "victim"))
 	target := block.Ref{Block: 1, Entry: 0}
-	mustCommit(t, c, env.del("alpha", target))
+	mustSeal(t, c, env.del("alpha", target))
 	if !c.IsMarked(target) {
 		t.Fatal("precondition: not marked")
 	}
@@ -142,10 +142,10 @@ func TestRestorePreservesDependencyGraph(t *testing.T) {
 	env := newEnv(t, "ALPHA", "BRAVO")
 	cfg := defaultConfig(env)
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("ALPHA", "base"))
+	mustSeal(t, c, env.data("ALPHA", "base"))
 	base := block.Ref{Block: 1, Entry: 0}
 	dep := block.NewData("BRAVO", []byte("dependent")).WithDependsOn(base).Sign(env.keys["BRAVO"])
-	mustCommit(t, c, dep)
+	mustSeal(t, c, dep)
 
 	cfg2 := defaultConfig(env)
 	restored, err := Restore(cfg2, c.Blocks())

@@ -2,6 +2,7 @@ package chain
 
 import (
 	"fmt"
+	"iter"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/deletion"
@@ -13,26 +14,39 @@ import (
 // hash-linked, with summary blocks in their slots, the first block being
 // the current Genesis marker (§IV-C: the marker block "is a trusted
 // anchor for the left blockchain part already approved by the anchor
-// nodes").
+// nodes"). It is RestoreStream over an in-memory slice; stores feed
+// RestoreStream directly so large persisted chains never materialize
+// twice.
+func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
+	return RestoreStream(cfg, func(yield func(*block.Block, error) bool) {
+		for _, b := range blocks {
+			if !yield(b, nil) {
+				return
+			}
+		}
+	})
+}
+
+// RestoreStream rebuilds a chain from a stream of persisted live blocks
+// (e.g. Store.Stream), bounding memory to the live chain itself: each
+// block is structurally checked, its signatures — including entries
+// carried inside summary blocks and the co-signatures of deletion
+// requests — are verified through the parallel verification pool, and
+// its state (index, dependency edges, marks, carried-entry ledger) is
+// registered, all before the next block is decoded. A tampered
+// persisted chain (or a malicious status-quo offer) is therefore
+// rejected at the offending block instead of poisoning later
+// validations.
 //
 // Deletion marks are reconstructed by re-processing the deletion entries
 // present in the live blocks; marks whose targets were already physically
 // forgotten are (correctly) not recreated. Lifetime statistics counters
 // (CutBlocks, ForgottenEntries, …) restart from zero — they describe the
 // current process, not the chain's full history.
-//
-// Every entry signature — including entries carried inside summary
-// blocks — is re-verified through the parallel verification pool before
-// any block is trusted, so a tampered persisted chain (or a malicious
-// status-quo offer) is rejected at restore time instead of poisoning
-// later validations.
-func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
+func RestoreStream(cfg Config, blocks iter.Seq2[*block.Block, error]) (*Chain, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
-	}
-	if len(blocks) == 0 {
-		return nil, fmt.Errorf("%w: no blocks to restore", ErrConfig)
 	}
 	c := &Chain{
 		cfg:        full,
@@ -41,54 +55,78 @@ func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
 		dependents: make(map[block.Ref][]deletion.Dependent),
 		marks:      make(map[block.Ref]Mark),
 		ledger:     newCarriedLedger(),
-		marker:     blocks[0].Header.Number,
 	}
-	if c.marker%uint64(full.SequenceLength) != 0 {
-		return nil, fmt.Errorf("%w: first block %d is not sequence-aligned", ErrConfig, c.marker)
-	}
-	// Structural pass first (cheap, sequential), then all signatures in
-	// one concurrent sweep, then the stateful rebuild.
-	for i, b := range blocks {
-		if err := b.CheckShape(); err != nil {
-			return nil, fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
+	var prev *block.Block
+	n := uint64(0)
+	for b, err := range blocks {
+		if err != nil {
+			return nil, fmt.Errorf("chain: restore: %w", err)
 		}
-		wantNum := c.marker + uint64(i)
-		if b.Header.Number != wantNum {
-			return nil, fmt.Errorf("chain: restore: block %d out of order (want %d)", b.Header.Number, wantNum)
-		}
-		if b.IsSummary() != c.isSummarySlot(b.Header.Number) {
-			return nil, fmt.Errorf("chain: restore: block %d kind %s does not match slot", b.Header.Number, b.Header.Kind)
-		}
-		if i > 0 && b.Header.PrevHash != blocks[i-1].Hash() {
-			return nil, fmt.Errorf("chain: restore: broken hash link at block %d", b.Header.Number)
-		}
-	}
-	if err := full.Verifier.Blocks(full.Registry, blocks); err != nil {
-		return nil, fmt.Errorf("chain: restore: %w", err)
-	}
-	for _, b := range blocks {
-		c.pushBlock(b)
-		if !b.IsSummary() {
-			c.processNormal(b)
-			continue
-		}
-		// Re-register the dependency edges of carried entries. A live
-		// chain keeps these edges when entries migrate into a summary;
-		// dropping them here would let a replayed deletion request slip
-		// past a cohesion rejection it historically received (§IV-D.2).
-		for _, ce := range b.Carried {
-			ref := ce.Ref()
-			for _, dep := range ce.Entry.DependsOn {
-				if _, ok := c.index[dep]; ok {
-					c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: ce.Entry.Owner})
-				}
+		if prev == nil {
+			c.marker = b.Header.Number
+			if c.marker%uint64(full.SequenceLength) != 0 {
+				return nil, fmt.Errorf("%w: first block %d is not sequence-aligned", ErrConfig, c.marker)
 			}
 		}
+		if err := c.restoreBlock(b, prev); err != nil {
+			return nil, err
+		}
+		prev = b
+		n++
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("%w: no blocks to restore", ErrConfig)
 	}
 	// Make sure a restored clock never reissues timestamps from the past.
 	if setter, ok := full.Clock.(interface{ Set(uint64) }); ok {
 		setter.Set(c.head().Header.Time)
 	}
-	c.stats.AppendedBlocks = uint64(len(blocks))
+	c.stats.AppendedBlocks = n
 	return c, nil
+}
+
+// restoreBlock checks and registers one streamed block. The chain is
+// not yet shared, so no lock is held — but signature work still routes
+// through the pool (parallel within the block, warm cache for later
+// gossip re-checks), and deletion requests consume pooled co-signature
+// prechecks exactly like the live append path.
+func (c *Chain) restoreBlock(b *block.Block, prev *block.Block) error {
+	if err := b.CheckShape(); err != nil {
+		return fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
+	}
+	if prev != nil {
+		wantNum := prev.Header.Number + 1
+		if b.Header.Number != wantNum {
+			return fmt.Errorf("chain: restore: block %d out of order (want %d)", b.Header.Number, wantNum)
+		}
+		if b.Header.PrevHash != prev.Hash() {
+			return fmt.Errorf("chain: restore: broken hash link at block %d", b.Header.Number)
+		}
+	}
+	if b.IsSummary() != c.isSummarySlot(b.Header.Number) {
+		return fmt.Errorf("chain: restore: block %d kind %s does not match slot", b.Header.Number, b.Header.Kind)
+	}
+	if err := c.cfg.Verifier.Blocks(c.cfg.Registry, []*block.Block{b}); err != nil {
+		return fmt.Errorf("chain: restore: %w", err)
+	}
+	if !b.IsSummary() {
+		checks := c.precheckDeletions(b.Entries)
+		c.pushBlock(b)
+		c.processNormal(b, checks)
+		return nil
+	}
+	c.pushBlock(b)
+	// Re-register the dependency edges of carried entries. A live
+	// chain keeps these edges when entries migrate into a summary;
+	// dropping them here would let a replayed deletion request slip
+	// past a cohesion rejection it historically received (§IV-D.2).
+	for _, ce := range b.Carried {
+		ref := ce.Ref()
+		for _, dep := range ce.Entry.DependsOn {
+			if _, ok := c.index[dep]; ok {
+				c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: ce.Entry.Owner})
+			}
+		}
+	}
+	return nil
 }

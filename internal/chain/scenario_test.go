@@ -42,9 +42,9 @@ func paperScenario(t *testing.T) (*Chain, *testEnv) {
 
 func TestFigure6StateAfterThreeLogins(t *testing.T) {
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty1"))
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
-	mustCommit(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
+	mustSeal(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
 
 	// Chain is 0,1,Σ2,3,4,Σ5 — marker still at genesis, nothing deleted.
 	if got := c.Len(); got != 6 {
@@ -73,18 +73,18 @@ func TestFigure6StateAfterThreeLogins(t *testing.T) {
 
 func TestFigure7DeletionAndMerge(t *testing.T) {
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty1"))
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
-	mustCommit(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
+	mustSeal(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
 
 	// Block 6: BRAVO requests deletion of its entry at 3/1.
 	target := block.Ref{Block: 3, Entry: 1}
-	mustCommit(t, c, env.del("BRAVO", target))
+	mustSeal(t, c, env.del("BRAVO", target))
 	if !c.IsMarked(target) {
 		t.Fatal("deletion request was not approved")
 	}
 	// Block 7 completes sequence 2; Σ8 merges sequences 0 and 1.
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty3"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty3"))
 
 	if got := c.Marker(); got != 6 {
 		t.Fatalf("Marker = %d, want 6 (Fig. 7: marker changed to block 6)", got)
@@ -140,17 +140,17 @@ func TestFigure7DeletionAndMerge(t *testing.T) {
 
 func TestFigure8DeletionRequestNeverCarried(t *testing.T) {
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty1"))
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
-	mustCommit(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
-	mustCommit(t, c, env.del("BRAVO", block.Ref{Block: 3, Entry: 1}))
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty3"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
+	mustSeal(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
+	mustSeal(t, c, env.del("BRAVO", block.Ref{Block: 3, Entry: 1}))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty3"))
 	// One cycle ahead (Fig. 8): drive to the next merge, which cuts the
 	// sequence holding the deletion request (block 6).
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty4"))     // block 9
-	mustCommit(t, c, env.data("BRAVO", "login BRAVO tty2"))     // block 10 + Σ11
-	mustCommit(t, c, env.data("CHARLIE", "login CHARLIE tty2")) // block 12
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty5"))     // block 13 + Σ14: merge
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty4"))     // block 9
+	mustSeal(t, c, env.data("BRAVO", "login BRAVO tty2"))     // block 10 + Σ11
+	mustSeal(t, c, env.data("CHARLIE", "login CHARLIE tty2")) // block 12
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty5"))     // block 13 + Σ14: merge
 
 	if got := c.Marker(); got != 12 {
 		t.Fatalf("Marker = %d, want 12 after second merge cycle", got)
@@ -185,7 +185,7 @@ func TestWrongDeletionRequestsHaveNoEffect(t *testing.T) {
 	// §V: "wrong request of deletions can be included in the blockchain,
 	// but these have no further effects."
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty1"))
 
 	tests := []struct {
 		name string
@@ -197,7 +197,7 @@ func TestWrongDeletionRequestsHaveNoEffect(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			before := c.Stats().RejectedRequests
-			if _, err := c.Commit([]*block.Entry{tt.req}); err != nil {
+			if _, err := c.commit([]*block.Entry{tt.req}); err != nil {
 				t.Fatalf("request not included: %v", err)
 			}
 			if c.IsMarked(block.Ref{Block: 1, Entry: 0}) {
@@ -210,7 +210,7 @@ func TestWrongDeletionRequestsHaveNoEffect(t *testing.T) {
 	}
 	// The target entry must survive all merges.
 	for i := 0; i < 8; i++ {
-		mustCommit(t, c, env.data("CHARLIE", fmt.Sprintf("noise %d", i)))
+		mustSeal(t, c, env.data("CHARLIE", fmt.Sprintf("noise %d", i)))
 	}
 	if _, _, ok := c.Lookup(block.Ref{Block: 1, Entry: 0}); !ok {
 		t.Error("entry was deleted despite only invalid requests")
@@ -220,8 +220,8 @@ func TestWrongDeletionRequestsHaveNoEffect(t *testing.T) {
 func TestAdminMayDeleteForeignEntries(t *testing.T) {
 	env := newEnv(t, "ALPHA", "admin")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("ALPHA", "private"))
-	mustCommit(t, c, env.del("admin", block.Ref{Block: 1, Entry: 0}))
+	mustSeal(t, c, env.data("ALPHA", "private"))
+	mustSeal(t, c, env.del("admin", block.Ref{Block: 1, Entry: 0}))
 	if !c.IsMarked(block.Ref{Block: 1, Entry: 0}) {
 		t.Error("admin deletion request rejected")
 	}
@@ -232,8 +232,8 @@ func TestOwnerOnlyPolicyBlocksAdmin(t *testing.T) {
 	cfg := defaultConfig(env)
 	cfg.DeletionPolicy = deletion.PolicyOwnerOnly
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("ALPHA", "private"))
-	mustCommit(t, c, env.del("admin", block.Ref{Block: 1, Entry: 0}))
+	mustSeal(t, c, env.data("ALPHA", "private"))
+	mustSeal(t, c, env.del("admin", block.Ref{Block: 1, Entry: 0}))
 	if c.IsMarked(block.Ref{Block: 1, Entry: 0}) {
 		t.Error("owner-only policy allowed admin deletion")
 	}
@@ -252,7 +252,7 @@ func TestShrinkMinimalEquationOne(t *testing.T) {
 	c := newChain(t, cfg)
 	merges := 0
 	for i := 0; i < 30; i++ {
-		blocks := mustCommit(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
+		blocks := mustSeal(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
 		// Retention is enforced at summary creation; between summaries
 		// the live length may overshoot by up to l-1 blocks.
 		if got := c.Len(); got > 6+2 {
@@ -294,7 +294,7 @@ func TestMinBlocksFloor(t *testing.T) {
 	prevMarker := c.Marker()
 	merged := false
 	for i := 0; i < 12; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
 		if m := c.Marker(); m != prevMarker {
 			merged = true
 			prevMarker = m
@@ -322,7 +322,7 @@ func TestMinTimeSpanFloor(t *testing.T) {
 	}
 	c := newChain(t, cfg)
 	for i := 0; i < 10; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
 	}
 	if c.Marker() != 0 {
 		t.Errorf("marker moved to %d although MinTimeSpan floor binds", c.Marker())
@@ -341,9 +341,9 @@ func TestTemporaryEntriesExpireAtSummarization(t *testing.T) {
 	c := newChain(t, cfg)
 	// Temporary entry expiring at block 4 — it will be expired when the
 	// merge at Σ5 happens; a durable entry in the same block survives.
-	mustCommit(t, c, env.temp("alpha", "ephemeral", 0, 4), env.data("alpha", "durable"))
+	mustSeal(t, c, env.temp("alpha", "ephemeral", 0, 4), env.data("alpha", "durable"))
 	for i := 0; i < 3; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
 	}
 	if _, _, ok := c.Lookup(block.Ref{Block: 1, Entry: 0}); ok {
 		t.Error("expired temporary entry survived summarization (§IV-D.4)")
@@ -367,9 +367,9 @@ func TestTemporaryEntryByTimestamp(t *testing.T) {
 	}
 	c := newChain(t, cfg)
 	// Expire at logical time 2 (the clock ticks once per block).
-	mustCommit(t, c, env.temp("alpha", "by-time", 2, 0))
+	mustSeal(t, c, env.temp("alpha", "by-time", 2, 0))
 	for i := 0; i < 3; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
 	}
 	if _, _, ok := c.Lookup(block.Ref{Block: 1, Entry: 0}); ok {
 		t.Error("time-expired entry survived")
@@ -386,9 +386,9 @@ func TestUnexpiredTemporaryEntryIsCarried(t *testing.T) {
 		Clock:          simclock.NewLogical(0),
 	}
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.temp("alpha", "long-lived", 0, 10_000))
+	mustSeal(t, c, env.temp("alpha", "long-lived", 0, 10_000))
 	for i := 0; i < 3; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("n%d", i)))
 	}
 	if _, loc, ok := c.Lookup(block.Ref{Block: 1, Entry: 0}); !ok || !loc.Carried {
 		t.Errorf("unexpired temporary entry not carried (ok=%v loc=%+v)", ok, loc)
@@ -398,18 +398,18 @@ func TestUnexpiredTemporaryEntryIsCarried(t *testing.T) {
 func TestSemanticCohesionRequiresCoSignature(t *testing.T) {
 	env := newEnv(t, "ALPHA", "BRAVO")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("ALPHA", "base record"))
+	mustSeal(t, c, env.data("ALPHA", "base record"))
 	base := block.Ref{Block: 1, Entry: 0}
 	// BRAVO appends an entry depending on ALPHA's record.
 	depEntry := block.NewData("BRAVO", []byte("follow-up")).WithDependsOn(base).Sign(env.keys["BRAVO"])
-	mustCommit(t, c, depEntry)
+	mustSeal(t, c, depEntry)
 
 	// ALPHA's plain deletion request must be rejected (live dependent).
 	plain := env.del("ALPHA", base)
 	if err := c.CheckDeletionRequest(plain); !errors.Is(err, deletion.ErrMissingCoSign) {
 		t.Errorf("err = %v, want ErrMissingCoSign", err)
 	}
-	mustCommit(t, c, plain)
+	mustSeal(t, c, plain)
 	if c.IsMarked(base) {
 		t.Fatal("deletion approved despite live dependent without co-signature")
 	}
@@ -419,7 +419,7 @@ func TestSemanticCohesionRequiresCoSignature(t *testing.T) {
 	if err := c.CheckDeletionRequest(cosigned); err != nil {
 		t.Fatalf("co-signed request rejected: %v", err)
 	}
-	mustCommit(t, c, cosigned)
+	mustSeal(t, c, cosigned)
 	if !c.IsMarked(base) {
 		t.Error("co-signed deletion not approved")
 	}
@@ -430,14 +430,14 @@ func TestDependingOnMarkedEntryIsRejected(t *testing.T) {
 	// permitted.
 	env := newEnv(t, "ALPHA")
 	c := newChain(t, defaultConfig(env))
-	mustCommit(t, c, env.data("ALPHA", "to be deleted"))
+	mustSeal(t, c, env.data("ALPHA", "to be deleted"))
 	target := block.Ref{Block: 1, Entry: 0}
-	mustCommit(t, c, env.del("ALPHA", target))
+	mustSeal(t, c, env.del("ALPHA", target))
 	if !c.IsMarked(target) {
 		t.Fatal("mark not created")
 	}
 	dep := block.NewData("ALPHA", []byte("late dependent")).WithDependsOn(target).Sign(env.keys["ALPHA"])
-	if _, err := c.Commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMarked) {
+	if _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMarked) {
 		t.Errorf("err = %v, want ErrDependsMarked", err)
 	}
 }
@@ -446,7 +446,7 @@ func TestDependencyOnMissingEntryRejected(t *testing.T) {
 	env := newEnv(t, "ALPHA")
 	c := newChain(t, defaultConfig(env))
 	dep := block.NewData("ALPHA", []byte("orphan")).WithDependsOn(block.Ref{Block: 9, Entry: 9}).Sign(env.keys["ALPHA"])
-	if _, err := c.Commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMissing) {
+	if _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMissing) {
 		t.Errorf("err = %v, want ErrDependsMissing", err)
 	}
 }
@@ -455,23 +455,23 @@ func TestDeletionOfCarriedEntry(t *testing.T) {
 	// "It may happen that an entry is located in a summary block. This
 	// must be taken into account" (§IV-D).
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty1"))
-	mustCommit(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
-	mustCommit(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
-	mustCommit(t, c, env.data("ALPHA", "filler"))
-	mustCommit(t, c, env.data("ALPHA", "filler2"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty1"))
+	mustSeal(t, c, env.data("ALPHA", "login ALPHA tty2"), env.data("BRAVO", "login BRAVO tty1"))
+	mustSeal(t, c, env.data("CHARLIE", "login CHARLIE tty1"))
+	mustSeal(t, c, env.data("ALPHA", "filler"))
+	mustSeal(t, c, env.data("ALPHA", "filler2"))
 	// Entries 1/0, 3/0, 3/1, 4/0 now live inside summary block 8.
 	target := block.Ref{Block: 3, Entry: 1}
 	if _, loc, ok := c.Lookup(target); !ok || !loc.Carried {
 		t.Fatalf("precondition: target not carried (ok=%v loc=%+v)", ok, loc)
 	}
-	mustCommit(t, c, env.del("BRAVO", target))
+	mustSeal(t, c, env.del("BRAVO", target))
 	if !c.IsMarked(target) {
 		t.Fatal("deletion of carried entry not approved")
 	}
 	// Drive to the next merge: the carried entry must not be re-carried.
 	for i := 0; i < 6; i++ {
-		mustCommit(t, c, env.data("ALPHA", fmt.Sprintf("drive%d", i)))
+		mustSeal(t, c, env.data("ALPHA", fmt.Sprintf("drive%d", i)))
 	}
 	if _, _, ok := c.Lookup(target); ok {
 		t.Error("carried entry still alive after deletion + merge")
@@ -494,7 +494,7 @@ func TestRedundancyReferenceFig9(t *testing.T) {
 	}
 	c := newChain(t, cfg)
 	for i := 0; i < 12; i++ {
-		mustCommit(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
+		mustSeal(t, c, env.data("alpha", fmt.Sprintf("e%d", i)))
 	}
 	// Find the newest summary block; it must reference a middle sequence.
 	blocks := c.Blocks()
@@ -528,8 +528,8 @@ func TestEmptyBlockFiller(t *testing.T) {
 	cfg.MaxSequences = 1
 	cfg.Shrink = ShrinkMinimal
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("alpha", "lonely"))
-	mustCommit(t, c, env.del("alpha", block.Ref{Block: 1, Entry: 0}))
+	mustSeal(t, c, env.data("alpha", "lonely"))
+	mustSeal(t, c, env.del("alpha", block.Ref{Block: 1, Entry: 0}))
 	// No further transactions arrive; empty filler blocks still push the
 	// deletion to physical execution (§IV-D.3).
 	for i := 0; i < 6 && c.Stats().ActiveMarks > 0; i++ {
@@ -547,8 +547,8 @@ func TestEmptyBlockFiller(t *testing.T) {
 
 func TestRenderMarksAndDeletionEntries(t *testing.T) {
 	c, env := paperScenario(t)
-	mustCommit(t, c, env.data("ALPHA", "visible"))
-	mustCommit(t, c, env.del("ALPHA", block.Ref{Block: 1, Entry: 0}))
+	mustSeal(t, c, env.data("ALPHA", "visible"))
+	mustSeal(t, c, env.del("ALPHA", block.Ref{Block: 1, Entry: 0}))
 	out := c.RenderString(&RenderOptions{ShowMarks: true})
 	if !strings.Contains(out, "DEL 1/0 K ALPHA") {
 		t.Errorf("deletion entry not rendered:\n%s", out)
@@ -557,7 +557,7 @@ func TestRenderMarksAndDeletionEntries(t *testing.T) {
 		t.Errorf("mark annotation missing:\n%s", out)
 	}
 	// TTL annotation.
-	mustCommit(t, c, env.temp("ALPHA", "short", 99, 0))
+	mustSeal(t, c, env.temp("ALPHA", "short", 99, 0))
 	out = c.RenderString(nil)
 	if !strings.Contains(out, "T t99") {
 		t.Errorf("TTL annotation missing:\n%s", out)
@@ -594,13 +594,13 @@ func TestQuickChainInvariants(t *testing.T) {
 			user := users[int(op)%len(users)]
 			switch op % 4 {
 			case 0, 1: // data entry
-				blocks, err := c.Commit([]*block.Entry{env.data(user, fmt.Sprintf("p%d", op))})
+				blocks, err := c.commit([]*block.Entry{env.data(user, fmt.Sprintf("p%d", op))})
 				if err != nil {
 					return false
 				}
 				livingRefs = append(livingRefs, block.Ref{Block: blocks[0].Header.Number, Entry: 0})
 			case 2: // temporary entry
-				if _, err := c.Commit([]*block.Entry{env.temp(user, "tmp", uint64(op%16), 0)}); err != nil {
+				if _, err := c.commit([]*block.Entry{env.temp(user, "tmp", uint64(op%16), 0)}); err != nil {
 					return false
 				}
 			case 3: // deletion attempt on a random earlier ref
@@ -614,7 +614,7 @@ func TestQuickChainInvariants(t *testing.T) {
 				} else {
 					owner = user
 				}
-				if _, err := c.Commit([]*block.Entry{env.del(owner, target)}); err != nil {
+				if _, err := c.commit([]*block.Entry{env.del(owner, target)}); err != nil {
 					return false
 				}
 			}
@@ -648,16 +648,16 @@ func TestAutoCohesionPolicyThroughConfig(t *testing.T) {
 	cfg := defaultConfig(env)
 	cfg.AutoCohesion = deletion.NewAutoPolicy(map[string]int{"ALPHA": 2, "BRAVO": 1})
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("ALPHA", "base"))
+	mustSeal(t, c, env.data("ALPHA", "base"))
 	base := block.Ref{Block: 1, Entry: 0}
 	dep := block.NewData("BRAVO", []byte("downstream")).WithDependsOn(base).Sign(env.keys["BRAVO"])
-	mustCommit(t, c, dep)
+	mustSeal(t, c, dep)
 
 	plain := env.del("ALPHA", base)
 	if err := c.CheckDeletionRequest(plain); err != nil {
 		t.Fatalf("auto policy did not clear dominated dependent: %v", err)
 	}
-	mustCommit(t, c, plain)
+	mustSeal(t, c, plain)
 	if !c.IsMarked(base) {
 		t.Error("auto-approved deletion not marked")
 	}
@@ -672,10 +672,10 @@ func TestCorrectionDeleteAndResubmit(t *testing.T) {
 	cfg.MaxSequences = 1
 	cfg.Shrink = ShrinkMinimal
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("ALPHA", "odometer 95000 km")) // typo: should be 59000
+	mustSeal(t, c, env.data("ALPHA", "odometer 95000 km")) // typo: should be 59000
 	wrong := block.Ref{Block: 1, Entry: 0}
 
-	blocks := mustCommit(t, c,
+	blocks := mustSeal(t, c,
 		env.del("ALPHA", wrong),
 		env.data("ALPHA", "odometer 59000 km"),
 	)
@@ -707,15 +707,15 @@ func TestRecoveryOfOrphanedEntries(t *testing.T) {
 	cfg.MaxSequences = 1
 	cfg.Shrink = ShrinkMinimal
 	c := newChain(t, cfg)
-	mustCommit(t, c, env.data("lostuser", "coins nobody can move"))
+	mustSeal(t, c, env.data("lostuser", "coins nobody can move"))
 	stale := block.Ref{Block: 1, Entry: 0}
-	activeBlocks := mustCommit(t, c, env.data("ALPHA", "active record"))
+	activeBlocks := mustSeal(t, c, env.data("ALPHA", "active record"))
 	active := block.Ref{Block: activeBlocks[0].Header.Number, Entry: 0}
 
 	// lostuser's key is gone; the quorum-backed admin reclaims the entry.
 	// (The merge triggered by this very commit may execute the mark
 	// immediately, so "marked" and "already gone" are both success.)
-	mustCommit(t, c, env.del("admin", stale))
+	mustSeal(t, c, env.del("admin", stale))
 	if _, _, alive := c.Lookup(stale); alive && !c.IsMarked(stale) {
 		t.Fatal("admin recovery request rejected")
 	}

@@ -2,9 +2,11 @@ package chain
 
 import (
 	"context"
+	"fmt"
 	"iter"
 
 	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/mempool"
 )
 
@@ -13,8 +15,8 @@ import (
 // callers are coalesced into full blocks by a single flusher (flushing
 // when the batch reaches Config.MaxBatch or when the submission stream
 // goes idle for Config.BatchLinger), so Submit is the concurrency-safe
-// write path: unlike interleaved Commit calls, concurrent Submits never
-// race each other for the head block.
+// write path: concurrent Submits never race each other for the head
+// block.
 //
 // Each receipt resolves once its entry's block is sealed and appended —
 // to the entry's stable Ref, block number, and block hash — or to a
@@ -54,6 +56,34 @@ func (c *Chain) SubmitWait(ctx context.Context, entries ...*block.Entry) ([]memp
 	return out, nil
 }
 
+// SealBlocks is the deterministic drivers' synchronous write: it seals
+// entries through the submission pipeline (SubmitWait) and returns the
+// blocks that flush appended — the normal block holding the entries
+// plus the directly following summary block, if that slot was due.
+// Single-threaded callers (experiments, scenario tests, examples) get
+// one block per call with exactly their entries; with concurrent
+// writers only the block actually holding the entries is guaranteed to
+// be theirs. Not part of the public façade — applications use
+// Submit/SubmitWait and receipts.
+func SealBlocks(ctx context.Context, c *Chain, entries ...*block.Entry) ([]*block.Block, error) {
+	sealed, err := c.SubmitWait(ctx, entries...)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) == 0 {
+		return nil, nil
+	}
+	normal, ok := c.Block(sealed[0].Block)
+	if !ok {
+		return nil, fmt.Errorf("chain: sealed block %d no longer live", sealed[0].Block)
+	}
+	out := []*block.Block{normal}
+	if summary, ok := c.Block(normal.Header.Number + 1); ok && summary.IsSummary() {
+		out = append(out, summary)
+	}
+	return out, nil
+}
+
 // pipeline lazily starts the batcher on first use.
 func (c *Chain) pipeline() (*mempool.Batcher, error) {
 	c.pipeMu.Lock()
@@ -76,17 +106,34 @@ func (c *Chain) pipeline() (*mempool.Batcher, error) {
 			c.cfg.Verifier.Warm(c.cfg.Registry, entries)
 		}
 	}
-	b := mempool.NewBatcher(c, opts)
+	b := mempool.NewBatcher(sealer{c}, opts)
 	c.pipe.Store(b)
 	return b, nil
 }
 
+// sealer adapts the chain's unexported sealing primitive to the
+// pipeline's Ledger interface without exporting a synchronous commit
+// on Chain itself.
+type sealer struct{ c *Chain }
+
+// Seal implements mempool.Ledger.
+func (s sealer) Seal(entries []*block.Entry) ([]*block.Block, error) {
+	return s.c.commit(entries)
+}
+
+// ValidateEntries implements mempool.Ledger.
+func (s sealer) ValidateEntries(entries []*block.Entry) error {
+	return s.c.ValidateEntries(entries)
+}
+
 // PipelineStats returns the submission pipeline's cumulative counters
 // and backpressure gauges: intake-queue depth/capacity, the adaptive
-// linger currently applied, and the verification pool's utilization and
-// cache effectiveness. The counters survive Close, so shutdown reports
-// see the final totals; the verify snapshot is filled even before the
-// first Submit. Note the verify gauges describe the chain's POOL: when
+// linger currently applied, the verification pool's utilization and
+// cache effectiveness, and the background compactor's progress
+// (pending truncations, blocks/bytes physically reclaimed). The
+// counters survive Close, so shutdown reports see the final totals;
+// the verify and compaction snapshots are filled even before the first
+// Submit. Note the verify gauges describe the chain's POOL: when
 // several chains share one (the default verify.Shared()), they include
 // the other chains' traffic too — give a chain its own pool via
 // Config.Verifier to isolate its numbers.
@@ -96,23 +143,41 @@ func (c *Chain) PipelineStats() mempool.Stats {
 		s = b.Stats()
 	}
 	s.Verify = c.cfg.Verifier.Stats()
+	if k := c.comp.Load(); k != nil {
+		s.Compaction = k.Stats()
+	} else {
+		// Never truncated: report the configured mode without starting
+		// the compactor goroutine for a pure read.
+		s.Compaction = compact.Stats{Synchronous: c.cfg.Compaction.Synchronous}
+	}
 	return s
 }
 
-// Close shuts down the submission pipeline: in-flight submissions are
-// still sealed and their receipts resolve, then the flusher exits.
-// Subsequent Submit calls return mempool.ErrClosed. Read methods, the
-// Commit primitive, and PipelineStats keep working. Close is idempotent,
-// and concurrent Close calls all block until the drain completes.
+// Close shuts down the submission pipeline and the background
+// compactor, in that order: in-flight submissions are still sealed and
+// their receipts resolve, then the flusher exits; pending truncations
+// are compacted (stores pruned), then the compactor exits. Subsequent
+// Submit calls return mempool.ErrClosed; reads, AppendBlock/AppendEmpty,
+// and PipelineStats keep working (late truncations compact inline).
+// Close is idempotent, and concurrent Close calls all block until the
+// drain completes.
 func (c *Chain) Close() error {
 	c.pipeMu.Lock()
 	c.pipeClosed = true
 	b := c.pipe.Load()
 	c.pipeMu.Unlock()
+	var err error
 	if b != nil {
-		return b.Close()
+		err = b.Close()
 	}
-	return nil
+	c.compMu.Lock()
+	c.compClosed = true
+	k := c.comp.Load()
+	c.compMu.Unlock()
+	if k != nil {
+		k.Close()
+	}
+	return err
 }
 
 // BlocksSeq streams the live blocks in order without copying the whole

@@ -176,7 +176,7 @@ func TestBlocksSeqAndEntriesSeq(t *testing.T) {
 	env := newEnv(t, "alice")
 	c := newChain(t, defaultConfig(env))
 	for i := 0; i < 7; i++ {
-		mustCommit(t, c, env.data("alice", fmt.Sprintf("e%d", i)))
+		mustSeal(t, c, env.data("alice", fmt.Sprintf("e%d", i)))
 	}
 
 	var seqBlocks []*block.Block
@@ -212,7 +212,7 @@ func TestBlocksSeqAndEntriesSeq(t *testing.T) {
 			t.Errorf("ref %s does not resolve to yielded entry", ref)
 		}
 		if count == 0 {
-			mustCommit(t, c, env.data("alice", "mid-iteration"))
+			mustSeal(t, c, env.data("alice", "mid-iteration"))
 		}
 		count++
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/merkle"
 )
 
@@ -103,7 +104,7 @@ func (c *Chain) planSummaryLocked() (*block.Block, summaryPlan) {
 		seqRef = c.middleSequenceRef(c.seqOf(plan.newMarker), c.seqOf(num))
 	}
 
-	return block.NewSummary(num, head.Header.Time, head.Hash(), carried, seqRef), plan
+	return block.NewSummaryWith(c.cfg.Verifier, num, head.Header.Time, head.Hash(), carried, seqRef), plan
 }
 
 // limitExceeded reports whether the configured MaxBlocks/MaxSequences
@@ -182,24 +183,32 @@ func (c *Chain) BuildSummary() (*block.Block, error) {
 	return b, nil
 }
 
-// applyPlanLocked executes the retention plan after its summary block was
-// appended: shift the Genesis marker and physically cut the merged prefix
-// (§IV-C: "the old sequence can be cut off and deleted"). Returns the
-// [old, new) marker pair when a truncation happened.
-func (c *Chain) applyPlanLocked(plan summaryPlan) *[2]uint64 {
+// applyPlanLocked executes the LOGICAL side of the retention plan after
+// its summary block was appended: shift the Genesis marker, drop the cut
+// prefix from the live view, and sweep the entry index, mark set, and
+// carried-entry ledger — everything later validations and summary plans
+// depend on (§IV-C: "the old sequence can be cut off and deleted").
+// The physical side — releasing the cut blocks' memory, sweeping dead
+// dependency edges, pruning persistent stores — is described by the
+// returned compact.Event and executed by the background compactor off
+// the append path. Returns nil when nothing was cut.
+func (c *Chain) applyPlanLocked(plan summaryPlan) *compact.Event {
 	c.stats.ExpiredEntries += plan.expired
 	if plan.newMarker == c.marker {
 		return nil
 	}
 	old := c.marker
 	cut := int(plan.newMarker - old)
+	var cutBytes int64
 	for _, b := range c.blocks[:cut] {
-		c.liveBytes -= int64(b.EncodedSize())
+		cutBytes += int64(b.EncodedSize())
 	}
+	c.liveBytes -= cutBytes
 	c.stats.CutBlocks += uint64(cut)
-	// Copy the tail into a fresh slice so the cut blocks become
-	// collectable (real space reclamation, not just re-slicing).
-	c.blocks = append(make([]*block.Block, 0, len(c.blocks)-cut), c.blocks[cut:]...)
+	// Cheap re-slice only: the compactor copies the tail into a fresh
+	// backing array so the cut blocks become collectable without the
+	// append path paying for it.
+	c.blocks = c.blocks[cut:]
 	c.marker = plan.newMarker
 
 	// Sweep the entry index: references whose current location was cut
@@ -222,24 +231,14 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *[2]uint64 {
 			c.carriedEntries--
 		}
 	}
+	// The ledger prune must stay logical/synchronous too: a deferred
+	// prune would let the NEXT summary plan carry entries whose holder
+	// blocks were already cut.
 	c.ledger.prune(c.marker)
-	// Sweep the dependency graph: drop edges whose endpoints died.
-	for target, deps := range c.dependents {
-		if _, ok := c.index[target]; !ok {
-			delete(c.dependents, target)
-			continue
-		}
-		kept := deps[:0]
-		for _, dep := range deps {
-			if _, ok := c.index[dep.Ref]; ok {
-				kept = append(kept, dep)
-			}
-		}
-		if len(kept) == 0 {
-			delete(c.dependents, target)
-		} else {
-			c.dependents[target] = kept
-		}
+	return &compact.Event{
+		OldMarker: old,
+		NewMarker: c.marker,
+		Blocks:    uint64(cut),
+		Bytes:     cutBytes,
 	}
-	return &[2]uint64{old, c.marker}
 }

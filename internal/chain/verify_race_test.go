@@ -116,7 +116,7 @@ func TestParallelVerifier16Producers(t *testing.T) {
 	}
 	// The ledger-backed planner and the naive reference must agree on
 	// the final state reached through the fully concurrent path. Advance
-	// to the next summary slot with bare appends (Commit would append
+	// to the next summary slot with bare appends (a pipelined seal would append
 	// the due summary itself and never rest on the slot).
 	for !c.NextIsSummary() {
 		b, err := c.BuildNormal(nil)

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -151,6 +152,17 @@ func TestNewAuthorityValidation(t *testing.T) {
 	}
 }
 
+// sealOne writes one entry through the submission pipeline and returns
+// the appended blocks (normal plus any due summary).
+func sealOne(t *testing.T, c *chain.Chain, e *block.Entry) []*block.Block {
+	t.Helper()
+	blocks, err := chain.SealBlocks(context.Background(), c, e)
+	if err != nil {
+		t.Fatalf("SealBlocks: %v", err)
+	}
+	return blocks
+}
+
 func TestConfigureWiresEngineIntoChain(t *testing.T) {
 	reg := identity.NewRegistry()
 	kp := identity.Deterministic("alpha", "consensus-test")
@@ -167,10 +179,7 @@ func TestConfigureWiresEngineIntoChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks, err := c.Commit([]*block.Entry{block.NewData("alpha", []byte("x")).Sign(kp)})
-	if err != nil {
-		t.Fatal(err)
-	}
+	blocks := sealOne(t, c, block.NewData("alpha", []byte("x")).Sign(kp))
 	if got := leadingZeroBits(blocks[0].Hash()); got < 8 {
 		t.Errorf("committed block not mined: %d bits", got)
 	}
@@ -209,10 +218,7 @@ func TestEngineIndependenceSameSummaries(t *testing.T) {
 		var counts []int
 		for i := 0; i < 8; i++ {
 			entry := block.NewData("alpha", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-			blocks, err := c.Commit([]*block.Entry{entry})
-			if err != nil {
-				t.Fatalf("%s: %v", e.Name(), err)
-			}
+			blocks := sealOne(t, c, entry)
 			if len(blocks) == 2 {
 				counts = append(counts, len(blocks[1].Carried))
 			}

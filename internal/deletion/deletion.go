@@ -18,6 +18,7 @@ import (
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/verify"
 )
 
 // Errors returned by request validation.
@@ -92,33 +93,92 @@ func (a *Authorizer) AuthorizeRequester(requester, targetOwner string) error {
 	}
 }
 
+// CoSigCheck is the signature half of deletion authorization, computed
+// WITHOUT any chain state: which of a request's co-signers provided a
+// valid signature over the target reference. It exists so the
+// cryptographic work can run outside the chain lock (through the
+// verification pool) while the stateful cohesion decision — which
+// owners actually need to have co-signed — runs under it, consuming
+// only these precomputed verdicts.
+//
+// The zero value approves nobody, so a missing precheck fails closed:
+// a dependent owner without a verified co-signature is reported as
+// missing, never silently accepted.
+type CoSigCheck struct {
+	// Approved holds the co-signer names whose signatures verified.
+	Approved map[string]bool
+	// BadSigner is the first co-signer (in entry order) whose identity
+	// is unknown or whose signature failed; empty when all verified.
+	BadSigner string
+}
+
+// PrecheckRequest batch-verifies req's co-signatures through the
+// verification pool. Call it without holding any chain lock; the
+// result feeds ValidateRequestPrechecked.
+func PrecheckRequest(pool *verify.Pool, reg *identity.Registry, req *block.Entry) CoSigCheck {
+	return cosigCheckFrom(req, pool.CoSigners(reg, req))
+}
+
+// precheckSerial is the single-threaded reference precheck, used by the
+// non-pooled ValidateRequest spec path.
+func (a *Authorizer) precheckSerial(req *block.Entry) CoSigCheck {
+	verdicts := make([]bool, len(req.CoSigners))
+	msg := block.CoSigningBytes(req.Target)
+	for i, cs := range req.CoSigners {
+		verdicts[i] = a.registry.Verify(cs.Name, msg, cs.Signature) == nil
+	}
+	return cosigCheckFrom(req, verdicts)
+}
+
+func cosigCheckFrom(req *block.Entry, verdicts []bool) CoSigCheck {
+	check := CoSigCheck{}
+	if len(verdicts) > 0 {
+		check.Approved = make(map[string]bool, len(verdicts))
+	}
+	for i, ok := range verdicts {
+		name := req.CoSigners[i].Name
+		if !ok {
+			if check.BadSigner == "" {
+				check.BadSigner = name
+			}
+			continue
+		}
+		check.Approved[name] = true
+	}
+	return check
+}
+
 // CheckCohesion verifies the semantic-cohesion rule for a deletion
 // request req targeting target: every live dependent's owner must have
 // provided a valid co-signature over the target reference. Dependents
 // owned by the requester itself are implicitly approved (the requester
-// already signed the request).
+// already signed the request). Co-signatures are verified inline and
+// serially; hot paths precheck through the pool instead
+// (ValidateRequestPooled / ValidateRequestPrechecked).
 func (a *Authorizer) CheckCohesion(req *block.Entry, target *block.Entry, dependents []Dependent) error {
+	return a.checkCohesion(req, target, dependents, a.precheckSerial(req))
+}
+
+// checkCohesion applies the cohesion rule over precomputed co-signature
+// verdicts. It performs no signature verification, so it is safe to
+// run while holding the chain lock.
+func (a *Authorizer) checkCohesion(req *block.Entry, target *block.Entry, dependents []Dependent, pre CoSigCheck) error {
 	if target.Kind != block.KindData {
 		return ErrTargetNotData
+	}
+	if pre.BadSigner != "" {
+		return fmt.Errorf("%w: by %q", ErrBadCoSignature, pre.BadSigner)
 	}
 	// An attached auto policy clears dependents whose owners the
 	// requester's clearance dominates (§IV-D.2 automatic approach).
 	dependents = a.effectiveDependents(req, dependents)
-	// Index the provided co-signatures by name, verifying each.
-	cosigned := make(map[string]bool, len(req.CoSigners))
-	for _, cs := range req.CoSigners {
-		if err := a.registry.Verify(cs.Name, block.CoSigningBytes(req.Target), cs.Signature); err != nil {
-			return fmt.Errorf("%w: by %q: %v", ErrBadCoSignature, cs.Name, err)
-		}
-		cosigned[cs.Name] = true
-	}
 	// Every distinct dependent owner must be covered.
 	missing := make(map[string]bool)
 	for _, dep := range dependents {
 		if dep.Ref == req.Target {
 			return fmt.Errorf("%w: %s", ErrSelfDependent, dep.Ref)
 		}
-		if dep.Owner == req.Owner || cosigned[dep.Owner] {
+		if dep.Owner == req.Owner || pre.Approved[dep.Owner] {
 			continue
 		}
 		missing[dep.Owner] = true
@@ -136,13 +196,32 @@ func (a *Authorizer) CheckCohesion(req *block.Entry, target *block.Entry, depend
 
 // ValidateRequest runs the full §IV-D pipeline for one deletion request:
 // requester authorization, then semantic cohesion over the live
-// dependents of the target.
+// dependents of the target. Signatures verify serially on the calling
+// goroutine — this is the executable spec; concurrent call sites use
+// ValidateRequestPooled or the precheck/validate split.
 func (a *Authorizer) ValidateRequest(req *block.Entry, target *block.Entry, dependents []Dependent) error {
+	return a.ValidateRequestPrechecked(req, target, dependents, a.precheckSerial(req))
+}
+
+// ValidateRequestPooled is ValidateRequest with the co-signature work
+// fanned out across the verification pool (and answered from its
+// verified-signature cache): the full §IV-D pipeline for call sites
+// that hold no lock.
+func (a *Authorizer) ValidateRequestPooled(pool *verify.Pool, req *block.Entry, target *block.Entry, dependents []Dependent) error {
+	return a.ValidateRequestPrechecked(req, target, dependents, PrecheckRequest(pool, a.registry, req))
+}
+
+// ValidateRequestPrechecked runs the stateful half of the §IV-D
+// pipeline — requester authorization and semantic cohesion — against
+// co-signature verdicts precomputed by PrecheckRequest. It verifies no
+// signatures itself, which is what lets the chain call it while
+// holding its lock.
+func (a *Authorizer) ValidateRequestPrechecked(req *block.Entry, target *block.Entry, dependents []Dependent, pre CoSigCheck) error {
 	if req.Kind != block.KindDeletion {
 		return fmt.Errorf("deletion: request entry has kind %s", req.Kind)
 	}
 	if err := a.AuthorizeRequester(req.Owner, target.Owner); err != nil {
 		return err
 	}
-	return a.CheckCohesion(req, target, dependents)
+	return a.checkCohesion(req, target, dependents, pre)
 }

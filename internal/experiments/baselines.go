@@ -37,11 +37,11 @@ func runBaselines(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer sel.Close()
 	var victims []block.Ref
 	for i := 0; i < chainLen; i++ {
-		blocks, err := sel.Commit([]*block.Entry{
-			block.NewData("owner", []byte(fmt.Sprintf("data-%d", i))).Sign(kp),
-		})
+		blocks, err := sealBlocks(sel,
+			block.NewData("owner", []byte(fmt.Sprintf("data-%d", i))).Sign(kp))
 		if err != nil {
 			return err
 		}
@@ -49,7 +49,7 @@ func runBaselines(w io.Writer) error {
 	}
 	victim := victims[len(victims)-10]
 	start := time.Now()
-	if _, err := sel.Commit([]*block.Entry{block.NewDeletion("owner", victim).Sign(kp)}); err != nil {
+	if _, err := sealBlocks(sel, block.NewDeletion("owner", victim).Sign(kp)); err != nil {
 		return err
 	}
 	selRequest := time.Since(start)

@@ -61,15 +61,14 @@ func runConsensus(w io.Writer) error {
 		start := time.Now()
 		for i := 0; i < blocks; i++ {
 			entry := block.NewData("writer", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-			committed, err := c.Commit([]*block.Entry{entry})
+			committed, err := sealBlocks(c, entry)
 			if err != nil {
 				return err
 			}
 			if i == 40 {
 				victim = block.Ref{Block: committed[0].Header.Number, Entry: 0}
-				if _, err := c.Commit([]*block.Entry{
-					block.NewDeletion("writer", victim).Sign(kp),
-				}); err != nil {
+				if _, err := sealBlocks(c,
+					block.NewDeletion("writer", victim).Sign(kp)); err != nil {
 					return err
 				}
 			}
@@ -86,6 +85,7 @@ func runConsensus(w io.Writer) error {
 			marker:       c.Marker(),
 			forgotten:    c.Stats().ForgottenEntries,
 		})
+		_ = c.Close()
 	}
 
 	tw := newTable(w)

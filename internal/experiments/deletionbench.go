@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// This file is the deletion-lifecycle dimension of `seldel-bench -json`
+// (PR 3): concurrent producers each write data entries and immediately
+// request their deletion on a retention-bounded chain, so the whole
+// asynchronous lifecycle runs at once — pooled co-signature-free
+// authorization at sealing time, marks, summary merges, and background
+// compaction. Reported per producer count: deletions sealed per second
+// and the mean data-append round-trip latency while the compactor is
+// truncating behind the appends.
+
+// DeletionResult is one measured deletion-lifecycle configuration.
+type DeletionResult struct {
+	// Producers is the number of concurrent submitting goroutines.
+	Producers int `json:"producers"`
+	// Deletions is the number of deletion requests sealed.
+	Deletions int `json:"deletions"`
+	// Seconds is the measured wall-clock time.
+	Seconds float64 `json:"seconds"`
+	// DeletionsPerSec is Deletions / Seconds.
+	DeletionsPerSec float64 `json:"deletions_per_sec"`
+	// AvgAppendMicros is the mean SubmitWait round trip of the data
+	// entries written between deletion requests — append latency while
+	// compaction runs.
+	AvgAppendMicros float64 `json:"avg_append_micros"`
+	// Truncations counts marker shifts executed by the compactor.
+	Truncations uint64 `json:"truncations"`
+	// BlocksCompacted counts blocks physically reclaimed.
+	BlocksCompacted uint64 `json:"blocks_compacted"`
+	// Forgotten counts entries physically deleted on request.
+	Forgotten uint64 `json:"forgotten"`
+}
+
+// deletionConfigs are the measured producer counts, matching the
+// submit dimension.
+var deletionConfigs = []int{1, 4, 16}
+
+// measureDeletionDimension runs the deletion-lifecycle workload (n
+// deletions per configuration) at each producer count.
+func measureDeletionDimension(n int) ([]DeletionResult, error) {
+	out := make([]DeletionResult, 0, len(deletionConfigs))
+	for _, p := range deletionConfigs {
+		r, err := measureDeletions(n, p)
+		if err != nil {
+			return nil, fmt.Errorf("deletion dimension (producers=%d): %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// measureDeletions drives p producers, each alternating data appends
+// with deletion requests for its own previous entries, on a bounded
+// chain that truncates continuously.
+func measureDeletions(n, p int) (DeletionResult, error) {
+	reg := identity.NewRegistry()
+	keys := make([]*identity.KeyPair, p)
+	for i := range keys {
+		keys[i] = identity.Deterministic(fmt.Sprintf("del-bench-%d", i), "seldel-delbench")
+		if err := reg.RegisterKey(keys[i], identity.RoleUser); err != nil {
+			return DeletionResult{}, err
+		}
+	}
+	pool := freshPool(0, true)
+	defer pool.Close()
+	c, err := chain.New(chain.Config{
+		SequenceLength: 6,
+		MaxBlocks:      24,
+		Shrink:         chain.ShrinkMinimal,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+		Verifier:       pool,
+	})
+	if err != nil {
+		return DeletionResult{}, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	// Each producer runs at least minRounds write+delete rounds: the
+	// pipeline coalesces concurrent submissions into shared blocks, so
+	// block count tracks ROUNDS, not entries, and the chain must
+	// overrun its 24-block bound to exercise truncation + compaction.
+	const minRounds = 36
+	perProducer := n / p
+	if perProducer < minRounds {
+		perProducer = minRounds
+	}
+	var (
+		wg          sync.WaitGroup
+		appendNanos atomic.Int64
+		appends     atomic.Int64
+		errCh       = make(chan error, p)
+	)
+	start := time.Now()
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kp := keys[w]
+			receipts := make([]mempool.Receipt, 0, perProducer)
+			for i := 0; i < perProducer; i++ {
+				t0 := time.Now()
+				sealed, err := c.SubmitWait(ctx,
+					block.NewData(kp.Name(), []byte(fmt.Sprintf("victim-%d-%d", w, i))).Sign(kp))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				appendNanos.Add(time.Since(t0).Nanoseconds())
+				appends.Add(1)
+				rs, err := c.Submit(ctx, block.NewDeletion(kp.Name(), sealed[0].Ref).Sign(kp))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				receipts = append(receipts, rs...)
+			}
+			for _, r := range receipts {
+				if _, err := r.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		return DeletionResult{}, err
+	}
+	if err := c.CompactWait(ctx); err != nil {
+		return DeletionResult{}, err
+	}
+	if err := c.VerifyIntegrity(); err != nil {
+		return DeletionResult{}, fmt.Errorf("integrity after deletion storm: %w", err)
+	}
+	deletions := perProducer * p
+	ps := c.PipelineStats()
+	res := DeletionResult{
+		Producers:       p,
+		Deletions:       deletions,
+		Seconds:         elapsed,
+		DeletionsPerSec: float64(deletions) / elapsed,
+		Truncations:     ps.Compaction.Truncations,
+		BlocksCompacted: ps.Compaction.BlocksCompacted,
+		Forgotten:       c.Stats().ForgottenEntries,
+	}
+	if a := appends.Load(); a > 0 {
+		res.AvgAppendMicros = float64(appendNanos.Load()) / float64(a) / 1e3
+	}
+	return res, nil
+}

@@ -34,11 +34,11 @@ func runDelCost(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer c.Close()
 		var refs []block.Ref
 		for i := 0; c.Len() < liveTarget; i++ {
-			blocks, err := c.Commit([]*block.Entry{
-				block.NewData("writer", []byte(fmt.Sprintf("p%d", i))).Sign(kp),
-			})
+			blocks, err := sealBlocks(c,
+				block.NewData("writer", []byte(fmt.Sprintf("p%d", i))).Sign(kp))
 			if err != nil {
 				return err
 			}
@@ -125,21 +125,21 @@ func runDelay(w io.Writer) error {
 		if err != nil {
 			return 0, err
 		}
+		defer c.Close()
 		// Fill to steady state.
 		for c.Stats().CutBlocks == 0 {
-			if _, err := c.Commit([]*block.Entry{
-				block.NewData("writer", []byte(fmt.Sprintf("warm%d", c.NextNumber()))).Sign(kp),
-			}); err != nil {
+			if _, err := sealBlocks(c,
+				block.NewData("writer", []byte(fmt.Sprintf("warm%d", c.NextNumber()))).Sign(kp)); err != nil {
 				return 0, err
 			}
 		}
 		// Write the victim entry, then request deletion immediately.
-		blocks, err := c.Commit([]*block.Entry{block.NewData("writer", []byte("victim")).Sign(kp)})
+		blocks, err := sealBlocks(c, block.NewData("writer", []byte("victim")).Sign(kp))
 		if err != nil {
 			return 0, err
 		}
 		victim := block.Ref{Block: blocks[0].Header.Number, Entry: 0}
-		if _, err := c.Commit([]*block.Entry{block.NewDeletion("writer", victim).Sign(kp)}); err != nil {
+		if _, err := sealBlocks(c, block.NewDeletion("writer", victim).Sign(kp)); err != nil {
 			return 0, err
 		}
 		requestedAt := c.Head().Number
@@ -153,9 +153,8 @@ func runDelay(w io.Writer) error {
 					return 0, err
 				}
 			} else {
-				if _, err := c.Commit([]*block.Entry{
-					block.NewData("writer", []byte(fmt.Sprintf("drive%d", i))).Sign(kp),
-				}); err != nil {
+				if _, err := sealBlocks(c,
+					block.NewData("writer", []byte(fmt.Sprintf("drive%d", i))).Sign(kp)); err != nil {
 					return 0, err
 				}
 			}

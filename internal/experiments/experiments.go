@@ -5,11 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"text/tabwriter"
 
+	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/simclock"
@@ -42,7 +44,7 @@ func All() []Experiment {
 		{ID: "baselines", Title: "Redaction effort: ours vs. chameleon vs. hard fork", Paper: "§III", Run: runBaselines},
 		{ID: "cluster", Title: "Summary determinism and fork detection across nodes", Paper: "§IV-B", Run: runCluster},
 		{ID: "consensus", Title: "Engine independence and extension overhead", Paper: "§V-B.3", Run: runConsensus},
-		{ID: "pipeline", Title: "Submission-pipeline throughput: Submit vs Commit", Paper: "PR 1", Run: runPipeline},
+		{ID: "pipeline", Title: "Submission-pipeline, verify, and deletion-lifecycle throughput", Paper: "PR 1-3", Run: runPipeline},
 	}
 }
 
@@ -126,6 +128,13 @@ func (e *env) paperChain() (*chain.Chain, error) {
 		Registry:       e.registry,
 		Clock:          simclock.NewLogical(0),
 	})
+}
+
+// sealBlocks is the deterministic drivers' synchronous write: one
+// block per call through the submission pipeline, plus any due summary
+// (chain.SealBlocks), so experiment output stays reproducible.
+func sealBlocks(c *chain.Chain, entries ...*block.Entry) ([]*block.Block, error) {
+	return chain.SealBlocks(context.Background(), c, entries...)
 }
 
 // newTable returns a tabwriter suitable for aligned experiment tables.

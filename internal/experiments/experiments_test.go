@@ -238,10 +238,10 @@ func TestPipelineBenchStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(report.Results) != 4 {
-		t.Fatalf("%d results, want 4 (commit@1, submit@1/4/16)", len(report.Results))
+		t.Fatalf("%d results, want 4 (serial@1, submit@1/4/16)", len(report.Results))
 	}
-	if report.Results[0].API != "commit" || report.Results[0].Producers != 1 {
-		t.Errorf("first result must be the commit baseline, got %+v", report.Results[0])
+	if report.Results[0].API != "serial" || report.Results[0].Producers != 1 {
+		t.Errorf("first result must be the serial baseline, got %+v", report.Results[0])
 	}
 	wantProducers := []int{1, 1, 4, 16}
 	for i, r := range report.Results {
@@ -253,9 +253,28 @@ func TestPipelineBenchStructure(t *testing.T) {
 		}
 	}
 	// Concurrent submission must coalesce: strictly fewer blocks than the
-	// one-block-per-entry commit baseline.
+	// one-block-per-entry serial baseline.
 	if last := report.Results[3]; last.Blocks >= report.Results[0].Blocks {
-		t.Errorf("submit@16 did not batch: %d blocks vs commit's %d", last.Blocks, report.Results[0].Blocks)
+		t.Errorf("submit@16 did not batch: %d blocks vs serial's %d", last.Blocks, report.Results[0].Blocks)
+	}
+	// The deletion-lifecycle dimension must cover 1/4/16 producers, have
+	// actually compacted, and have physically forgotten what it deleted.
+	if len(report.DeletionResults) != 3 {
+		t.Fatalf("%d deletion results, want 3", len(report.DeletionResults))
+	}
+	for i, r := range report.DeletionResults {
+		if r.Producers != wantProducers[i+1] {
+			t.Errorf("deletion result %d producers = %d, want %d", i, r.Producers, wantProducers[i+1])
+		}
+		if r.Deletions == 0 || r.DeletionsPerSec <= 0 {
+			t.Errorf("deletion result %d implausible: %+v", i, r)
+		}
+		if r.Truncations == 0 || r.BlocksCompacted == 0 {
+			t.Errorf("deletion result %d never compacted: %+v", i, r)
+		}
+		if r.Forgotten == 0 {
+			t.Errorf("deletion result %d forgot nothing: %+v", i, r)
+		}
 	}
 }
 

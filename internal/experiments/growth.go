@@ -48,10 +48,12 @@ func runGrowth(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer selDurable.Close()
 	selTTL, err := mkChain()
 	if err != nil {
 		return err
 	}
+	defer selTTL.Close()
 	plain := baseline.NewPlain()
 	pruned := baseline.NewLocalPrune(60)
 
@@ -67,11 +69,11 @@ func runGrowth(w io.Writer) error {
 	fmt.Fprintln(tw, "appended\tsel_live_blocks\tsel_durable_bytes\tsel_ttl_bytes\tplain_bytes\tprune_local\tprune_global")
 	for i := 1; i <= totalBlocks; i++ {
 		durable := block.NewData("writer", payload(i)).Sign(kp)
-		if _, err := selDurable.Commit([]*block.Entry{durable}); err != nil {
+		if _, err := sealBlocks(selDurable, durable); err != nil {
 			return err
 		}
 		ttlEntry := block.NewTemporary("writer", payload(i), 0, selTTL.NextNumber()+ttlWindow).Sign(kp)
-		if _, err := selTTL.Commit([]*block.Entry{ttlEntry}); err != nil {
+		if _, err := sealBlocks(selTTL, ttlEntry); err != nil {
 			return err
 		}
 		plain.Append([]*block.Entry{durable})
@@ -129,19 +131,21 @@ func MeasureGrowth(totalBlocks int) (GrowthSummary, error) {
 	if err != nil {
 		return out, err
 	}
+	defer selDurable.Close()
 	selTTL, err := mkChain()
 	if err != nil {
 		return out, err
 	}
+	defer selTTL.Close()
 	plain := baseline.NewPlain()
 	pruned := baseline.NewLocalPrune(60)
 	for i := 0; i < totalBlocks; i++ {
 		durable := block.NewData("writer", []byte(fmt.Sprintf("payload-%d", i))).Sign(kp)
-		if _, err := selDurable.Commit([]*block.Entry{durable}); err != nil {
+		if _, err := sealBlocks(selDurable, durable); err != nil {
 			return out, err
 		}
 		ttlEntry := block.NewTemporary("writer", []byte(fmt.Sprintf("payload-%d", i)), 0, selTTL.NextNumber()+120).Sign(kp)
-		if _, err := selTTL.Commit([]*block.Entry{ttlEntry}); err != nil {
+		if _, err := sealBlocks(selTTL, ttlEntry); err != nil {
 			return out, err
 		}
 		plain.Append([]*block.Entry{durable})

@@ -18,21 +18,25 @@ import (
 	"github.com/seldel/seldel/internal/verify"
 )
 
-// This file benchmarks the concurrent submission pipeline against the
-// single-writer Commit facade it replaces (PR 1): the same pre-signed
-// workload is pushed through Chain.Commit by one caller and through
-// Chain.Submit by 1, 4, and 16 concurrent producers. PR 2 adds the
-// verify-parallelism dimension: the 16-producer submission workload is
-// re-measured at GOMAXPROCS 1, 4, and 16 with the verified-signature
-// cache on and off, isolating how much of the throughput comes from the
-// parallel verification pool versus the cache. Unlike the paper
-// reproductions this experiment measures wall-clock throughput, so its
-// numbers vary run to run; the JSON output (`seldel-bench -json`) feeds
-// the repository's performance trajectory.
+// This file benchmarks the concurrent submission pipeline (PR 1): the
+// same pre-signed workload is pushed through SubmitWait by one serial
+// caller (the synchronous baseline that replaced the retired Commit
+// facade) and through Chain.Submit by 1, 4, and 16 concurrent
+// producers. PR 2 adds the verify-parallelism dimension: the
+// 16-producer submission workload is re-measured at GOMAXPROCS 1, 4,
+// and 16 with the verified-signature cache on and off, isolating how
+// much of the throughput comes from the parallel verification pool
+// versus the cache. PR 3 adds the deletion-lifecycle dimension
+// (deletionbench.go): deletions/sec and append latency while the
+// background compactor truncates. Unlike the paper reproductions this
+// experiment measures wall-clock throughput, so its numbers vary run to
+// run; the JSON output (`seldel-bench -json`) feeds the repository's
+// performance trajectory.
 
 // PipelineResult is one measured configuration.
 type PipelineResult struct {
-	// API is "commit" (synchronous facade) or "submit" (pipeline).
+	// API is "serial" (one blocking SubmitWait caller) or "submit"
+	// (concurrent pipeline producers).
 	API string `json:"api"`
 	// Producers is the number of concurrent submitting goroutines.
 	Producers int `json:"producers"`
@@ -78,9 +82,13 @@ type PipelineReport struct {
 	NumCPU     int              `json:"num_cpu"`
 	UnixTime   int64            `json:"unix_time"`
 	Results    []PipelineResult `json:"results"`
-	SpeedupX16 float64          `json:"speedup_submit16_vs_commit"`
+	SpeedupX16 float64          `json:"speedup_submit16_vs_serial"`
 	// VerifyResults is the verify-parallelism dimension (PR 2).
 	VerifyResults []VerifyResult `json:"verify_results"`
+	// DeletionResults is the deletion-lifecycle dimension (PR 3):
+	// deletions/sec through the pooled authorization path and append
+	// latency while the background compactor truncates.
+	DeletionResults []DeletionResult `json:"deletion_results"`
 	// VerifyPoolSpeedup is submit@16 ops/s at the widest GOMAXPROCS over
 	// GOMAXPROCS=1, cache enabled in both: the parallel-verification win.
 	VerifyPoolSpeedup float64 `json:"verify_pool_speedup"`
@@ -120,9 +128,9 @@ func freshPool(workers int, cache bool) *verify.Pool {
 	return verify.New(verify.Options{Workers: workers, CacheSize: size})
 }
 
-// measureCommit drives the deprecated single-caller path: one goroutine,
-// one block per call.
-func measureCommit(reg *identity.Registry, entries []*block.Entry) (PipelineResult, error) {
+// measureSerial drives the synchronous baseline: one goroutine, one
+// blocking SubmitWait per entry — one block per call, zero batching.
+func measureSerial(reg *identity.Registry, entries []*block.Entry) (PipelineResult, error) {
 	pool := freshPool(0, true)
 	defer pool.Close()
 	c, err := pipelineChain(reg, pool)
@@ -130,15 +138,16 @@ func measureCommit(reg *identity.Registry, entries []*block.Entry) (PipelineResu
 		return PipelineResult{}, err
 	}
 	defer c.Close()
+	ctx := context.Background()
 	start := time.Now()
 	for _, e := range entries {
-		if _, err := c.Commit([]*block.Entry{e}); err != nil {
+		if _, err := c.SubmitWait(ctx, e); err != nil {
 			return PipelineResult{}, err
 		}
 	}
 	elapsed := time.Since(start).Seconds()
 	return PipelineResult{
-		API:       "commit",
+		API:       "serial",
 		Producers: 1,
 		Entries:   len(entries),
 		Blocks:    c.Stats().AppendedBlocks,
@@ -257,8 +266,9 @@ func measureVerifyDimension(reg *identity.Registry, entries []*block.Entry) ([]V
 	return out, nil
 }
 
-// RunPipelineBench measures Commit (1 caller) vs Submit (1, 4, 16
-// producers) over n entries each.
+// RunPipelineBench measures serial SubmitWait (1 caller) vs Submit
+// (1, 4, 16 producers) over n entries each, plus the verify and
+// deletion-lifecycle dimensions.
 func RunPipelineBench(n int) (*PipelineReport, error) {
 	e, err := newEnv("writer")
 	if err != nil {
@@ -290,11 +300,11 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 		}
 		return top, nil
 	}
-	commit, err := best(func() (PipelineResult, error) { return measureCommit(e.registry, entries) })
+	serial, err := best(func() (PipelineResult, error) { return measureSerial(e.registry, entries) })
 	if err != nil {
 		return nil, err
 	}
-	report.Results = append(report.Results, commit)
+	report.Results = append(report.Results, serial)
 	for _, p := range []int{1, 4, 16} {
 		r, err := best(func() (PipelineResult, error) { return measureSubmit(e.registry, entries, p) })
 		if err != nil {
@@ -303,7 +313,7 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 		report.Results = append(report.Results, r)
 	}
 	last := report.Results[len(report.Results)-1]
-	report.SpeedupX16 = last.OpsPerSec / commit.OpsPerSec
+	report.SpeedupX16 = last.OpsPerSec / serial.OpsPerSec
 
 	vr, err := measureVerifyDimension(e.registry, entries)
 	if err != nil {
@@ -325,6 +335,12 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	if off := opsAt(widest, false); off > 0 {
 		report.VerifyCacheSpeedup = opsAt(widest, true) / off
 	}
+
+	dr, err := measureDeletionDimension(n / 4)
+	if err != nil {
+		return nil, err
+	}
+	report.DeletionResults = dr
 	return report, nil
 }
 
@@ -372,5 +388,12 @@ func runPipeline(w io.Writer) error {
 	fmt.Fprintf(w, "verify pool %dx procs: %.2fx; cache: %.2fx\n",
 		report.VerifyResults[len(report.VerifyResults)-1].GOMAXPROCS,
 		report.VerifyPoolSpeedup, report.VerifyCacheSpeedup)
-	return nil
+	tw = newTable(w)
+	fmt.Fprintln(tw, "producers\tdeletions\tdel/sec\tappend_us\ttruncations\tcompacted")
+	for _, r := range report.DeletionResults {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%d\t%d\n",
+			r.Producers, r.Deletions, r.DeletionsPerSec, r.AvgAppendMicros,
+			r.Truncations, r.BlocksCompacted)
+	}
+	return tw.Flush()
 }

@@ -31,6 +31,7 @@ func runTTL(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 
 	type probe struct {
 		ref      block.Ref
@@ -53,7 +54,7 @@ func runTTL(w io.Writer) error {
 		} else {
 			entry = block.NewData("logger", []byte(fmt.Sprintf("log-%d", i))).Sign(kp)
 		}
-		blocks, err := c.Commit([]*block.Entry{entry})
+		blocks, err := sealBlocks(c, entry)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/verify"
 )
 
@@ -19,7 +20,7 @@ const DefaultMaxBatch = 256
 // the pipeline.
 const maxAutoLinger = 5 * time.Millisecond
 
-// errLedgerContract flags a Ledger.Commit that returned neither blocks
+// errLedgerContract flags a Ledger.Seal that returned neither blocks
 // nor an error.
 var errLedgerContract = errors.New("mempool: ledger returned no blocks and no error")
 
@@ -73,6 +74,11 @@ type Stats struct {
 	// and cache effectiveness. Filled by Chain.PipelineStats; zero for a
 	// bare Batcher, which does not own a pool.
 	Verify verify.Stats
+	// Compaction is the background compactor's activity snapshot —
+	// pending truncations and blocks/bytes physically reclaimed off the
+	// append path. Filled by Chain.PipelineStats; zero for a bare
+	// Batcher, which does not own a compactor.
+	Compaction compact.Stats
 }
 
 // Batcher coalesces concurrently submitted entries into blocks. All
@@ -281,9 +287,9 @@ func (b *Batcher) collect(first group) []group {
 	return batch
 }
 
-// maxFlushRetries bounds re-commits of a batch whose entries all still
-// validate. One retry absorbs a head race with a concurrent Commit
-// caller (e.g. a retention ticker appending empty blocks); the bound
+// maxFlushRetries bounds re-seals of a batch whose entries all still
+// validate. One retry absorbs a head race with a concurrent direct
+// appender (e.g. a retention ticker appending empty blocks); the bound
 // keeps a persistent batch-level failure (a broken sealer) from looping.
 const maxFlushRetries = 3
 
@@ -292,8 +298,8 @@ const maxFlushRetries = 3
 // validation are rejected through their receipts and the remainder is
 // retried, so one bad entry cannot poison a batch. A failure with no
 // offending entry is retried a bounded number of times (the chain's
-// Commit primitive can lose a head race against concurrent direct
-// committers and succeed verbatim on retry) before failing the batch.
+// sealing primitive can lose a head race against concurrent direct
+// appenders and succeed verbatim on retry) before failing the batch.
 func (b *Batcher) flush(batch []group) {
 	// Feed the adaptive linger: remember how long sealing takes (EMA,
 	// weighted 3:1 toward history) and whether this batch showed real
@@ -318,7 +324,7 @@ func (b *Batcher) flush(batch []group) {
 			entries = append(entries, g.entries...)
 			tickets = append(tickets, g.tickets...)
 		}
-		blocks, err := b.ledger.Commit(entries)
+		blocks, err := b.ledger.Seal(entries)
 		if len(blocks) > 0 {
 			// The normal block holding the batch was appended — the
 			// entries are on-chain even if err reports a later failure

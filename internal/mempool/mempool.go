@@ -33,12 +33,13 @@ import (
 // ErrClosed is returned by Submit after the pipeline has been closed.
 var ErrClosed = errors.New("mempool: pipeline closed")
 
-// Ledger is the slice of the chain the batcher seals through.
-// *chain.Chain implements it.
+// Ledger is the slice of the chain the batcher seals through. The
+// chain package implements it with an internal adapter over its
+// sealing primitive.
 type Ledger interface {
-	// Commit builds, seals, and appends one normal block holding entries
+	// Seal builds, seals, and appends one normal block holding entries
 	// (plus any due summary block), returning the appended blocks.
-	Commit(entries []*block.Entry) ([]*block.Block, error)
+	Seal(entries []*block.Entry) ([]*block.Block, error)
 	// ValidateEntries checks candidate entries against the live chain
 	// state without building a block.
 	ValidateEntries(entries []*block.Entry) error

@@ -38,7 +38,7 @@ func (f *fakeLedger) validate(e *block.Entry) error {
 	return nil
 }
 
-func (f *fakeLedger) Commit(entries []*block.Entry) ([]*block.Block, error) {
+func (f *fakeLedger) Seal(entries []*block.Entry) ([]*block.Block, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sealErr != nil {

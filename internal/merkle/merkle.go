@@ -67,30 +67,38 @@ type Tree struct {
 	levels [][]codec.Hash
 }
 
+// Runner fans independent units of work across workers: Each runs
+// fn(i) for every i in [0, n) and waits for all of them. verify.Pool
+// satisfies it, so batch-level tree building shares the chain's
+// verification workers. A nil Runner runs serially.
+type Runner interface {
+	Each(n int, fn func(int))
+}
+
+// parallelThreshold is the leaf count below which fan-out overhead
+// exceeds the hashing it saves.
+const parallelThreshold = 64
+
 // Build constructs a tree over the given leaf payloads. A nil or empty
 // leaf list yields the canonical empty-tree root.
-func Build(leaves [][]byte) *Tree {
+func Build(leaves [][]byte) *Tree { return BuildWith(nil, leaves) }
+
+// BuildWith is Build with the leaf hashing fanned out across r (the
+// dominant cost; interior levels halve geometrically and stay serial).
+// The resulting tree is identical to Build's.
+func BuildWith(r Runner, leaves [][]byte) *Tree {
 	if len(leaves) == 0 {
 		return &Tree{}
 	}
 	level := make([]codec.Hash, len(leaves))
-	for i, l := range leaves {
-		level[i] = HashLeaf(l)
-	}
-	t := &Tree{levels: [][]codec.Hash{level}}
-	for len(level) > 1 {
-		next := make([]codec.Hash, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			if i+1 < len(level) {
-				next = append(next, hashInterior(level[i], level[i+1]))
-			} else {
-				next = append(next, level[i])
-			}
+	if r != nil && len(leaves) >= parallelThreshold {
+		r.Each(len(leaves), func(i int) { level[i] = HashLeaf(leaves[i]) })
+	} else {
+		for i, l := range leaves {
+			level[i] = HashLeaf(l)
 		}
-		t.levels = append(t.levels, next)
-		level = next
 	}
-	return t
+	return grow(level)
 }
 
 // BuildFromHashes constructs a tree whose leaves are pre-computed hashes
@@ -102,6 +110,11 @@ func BuildFromHashes(hashes []codec.Hash) *Tree {
 	}
 	level := make([]codec.Hash, len(hashes))
 	copy(level, hashes)
+	return grow(level)
+}
+
+// grow reduces a leaf level to the root, recording every level.
+func grow(level []codec.Hash) *Tree {
 	t := &Tree{levels: [][]codec.Hash{level}}
 	for len(level) > 1 {
 		next := make([]codec.Hash, 0, (len(level)+1)/2)

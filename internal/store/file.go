@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"sort"
@@ -186,6 +187,39 @@ func (f *File) LoadAll() ([]*block.Block, error) {
 	}
 	f.mu.Unlock()
 	return decodeAll(nums, raws)
+}
+
+// Stream implements Store: the block-number listing is taken once
+// under the store lock, then each file is read and decoded lazily per
+// yielded block (re-locking per read, so a concurrent Close is
+// honoured mid-stream). Memory is bounded by one raw + one decoded
+// block, which is what lets long persisted chains restore without
+// materializing twice.
+func (f *File) Stream() iter.Seq2[*block.Block, error] {
+	return func(yield func(*block.Block, error) bool) {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			yield(nil, ErrClosed)
+			return
+		}
+		nums, err := f.blockNumbersLocked()
+		f.mu.Unlock()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, num := range nums {
+			b, err := f.GetBlock(num)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(b, nil) {
+				return
+			}
+		}
+	}
 }
 
 // SizeBytes implements Store: total size of all block files.

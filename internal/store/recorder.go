@@ -66,13 +66,12 @@ func Attach(c *chain.Chain, s Store) (*Recorder, error) {
 }
 
 // OpenChain restores a chain from the live blocks persisted in s and
-// attaches a Recorder so future mutations stay persisted.
+// attaches a Recorder so future mutations stay persisted. The store is
+// consumed as a stream: each block is decoded, pool-verified, and
+// registered before the next is read, so memory stays bounded by the
+// live chain itself even for long persisted suffixes.
 func OpenChain(cfg chain.Config, s Store) (*chain.Chain, *Recorder, error) {
-	blocks, err := s.LoadAll()
-	if err != nil {
-		return nil, nil, err
-	}
-	c, err := chain.Restore(cfg, blocks)
+	c, err := chain.RestoreStream(cfg, s.Stream())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -10,6 +10,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -38,6 +39,11 @@ type Store interface {
 	Range() (first, last uint64, ok bool, err error)
 	// LoadAll returns all stored blocks in ascending number order.
 	LoadAll() ([]*block.Block, error)
+	// Stream yields the stored blocks in ascending number order, one
+	// decoded block at a time, so a restore never materializes the
+	// whole persisted chain's raw bytes at once. Iteration stops at
+	// the first yielded error.
+	Stream() iter.Seq2[*block.Block, error]
 	// SizeBytes returns the total persisted payload size.
 	SizeBytes() (int64, error)
 	// Close releases resources.
@@ -185,6 +191,40 @@ func decodeAll(nums []uint64, raws [][]byte) ([]*block.Block, error) {
 		}
 	}
 	return out, nil
+}
+
+// Stream implements Store. The number/raw snapshot is taken under the
+// read lock; decoding happens lazily per yielded block, so consumers
+// hold at most one decoded block beyond what they retain themselves.
+func (m *Mem) Stream() iter.Seq2[*block.Block, error] {
+	return func(yield func(*block.Block, error) bool) {
+		m.mu.RLock()
+		if m.closed {
+			m.mu.RUnlock()
+			yield(nil, ErrClosed)
+			return
+		}
+		nums := make([]uint64, 0, len(m.blocks))
+		for num := range m.blocks {
+			nums = append(nums, num)
+		}
+		sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+		raws := make([][]byte, len(nums))
+		for i, num := range nums {
+			raws[i] = m.blocks[num]
+		}
+		m.mu.RUnlock()
+		for i, raw := range raws {
+			b, err := block.DecodeBlock(raw)
+			if err != nil {
+				yield(nil, fmt.Errorf("store: block %d: %w", nums[i], err))
+				return
+			}
+			if !yield(b, nil) {
+				return
+			}
+		}
+	}
 }
 
 // SizeBytes implements Store.

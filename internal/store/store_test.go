@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -13,6 +14,22 @@ import (
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/simclock"
 )
+
+
+// sealOne drives one entry through the chain's submission pipeline and
+// returns the appended blocks (normal plus any due summary), waiting
+// for pending compaction so store assertions are deterministic.
+func sealOne(t *testing.T, c *chain.Chain, e *block.Entry) []*block.Block {
+	t.Helper()
+	blocks, err := chain.SealBlocks(context.Background(), c, e)
+	if err != nil {
+		t.Fatalf("SealBlocks: %v", err)
+	}
+	if err := c.CompactWait(context.Background()); err != nil {
+		t.Fatalf("CompactWait: %v", err)
+	}
+	return blocks
+}
 
 func testBlock(t *testing.T, num uint64, prev *block.Block) *block.Block {
 	t.Helper()
@@ -90,11 +107,36 @@ func storeSuite(t *testing.T, s Store) {
 			t.Errorf("LoadAll[%d] = block %d", i, b.Header.Number)
 		}
 	}
+	// Stream must yield exactly what LoadAll returns, in order, and
+	// honour early termination.
+	var streamed []*block.Block
+	for b, err := range s.Stream() {
+		if err != nil {
+			t.Fatalf("Stream: %v", err)
+		}
+		streamed = append(streamed, b)
+	}
+	if len(streamed) != len(all) {
+		t.Fatalf("Stream yielded %d blocks, LoadAll %d", len(streamed), len(all))
+	}
+	for i := range all {
+		if streamed[i].Hash() != all[i].Hash() {
+			t.Errorf("Stream[%d] differs from LoadAll[%d]", i, i)
+		}
+	}
+	for range s.Stream() {
+		break // an early break must not panic or leak
+	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	if err := s.PutBlock(blocks[0]); !errors.Is(err, ErrClosed) {
 		t.Errorf("PutBlock after Close = %v, want ErrClosed", err)
+	}
+	for _, err := range s.Stream() {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Stream after Close = %v, want ErrClosed", err)
+		}
 	}
 }
 
@@ -205,9 +247,7 @@ func TestRecorderMirrorsChain(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		e := block.NewData("alpha", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-		if _, err := c.Commit([]*block.Entry{e}); err != nil {
-			t.Fatal(err)
-		}
+		sealOne(t, c, e)
 	}
 	if err := rec.Err(); err != nil {
 		t.Fatalf("recorder error: %v", err)
@@ -244,10 +284,7 @@ func TestOpenChainRestoresState(t *testing.T) {
 	var keepRef block.Ref
 	for i := 0; i < 8; i++ {
 		e := block.NewData("alpha", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-		blocks, err := c.Commit([]*block.Entry{e})
-		if err != nil {
-			t.Fatal(err)
-		}
+		blocks := sealOne(t, c, e)
 		if i == 6 {
 			keepRef = block.Ref{Block: blocks[0].Header.Number, Entry: 0}
 		}
@@ -276,9 +313,7 @@ func TestOpenChainRestoresState(t *testing.T) {
 	}
 	// The restored chain keeps working and persisting.
 	e := block.NewData("alpha", []byte("after restart")).Sign(kp)
-	if _, err := restored.Commit([]*block.Entry{e}); err != nil {
-		t.Fatalf("Commit after restore: %v", err)
-	}
+	sealOne(t, restored, e)
 	if err := rec.Err(); err != nil {
 		t.Fatalf("recorder after restore: %v", err)
 	}
@@ -297,9 +332,7 @@ func TestRestoreRejectsCorruptSuffix(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		e := block.NewData("alpha", []byte(fmt.Sprintf("p%d", i))).Sign(kp)
-		if _, err := c.Commit([]*block.Entry{e}); err != nil {
-			t.Fatal(err)
-		}
+		sealOne(t, c, e)
 	}
 	blocks := c.Blocks()
 	if _, err := chain.Restore(cfg, nil); err == nil {

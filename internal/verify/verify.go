@@ -201,6 +201,32 @@ func (p *Pool) Close() {
 	close(p.tasks)
 }
 
+// Each runs fn(i) for every i in [0, n) across the pool's workers and
+// waits for all of them. It is the pool's generic fan-out primitive —
+// signature batches, co-signature batches, and Merkle leaf hashing all
+// route through it (it satisfies merkle.Runner). Must not be called
+// from inside a pool task: a task that waits on other tasks can
+// exhaust the workers and deadlock the pool.
+func (p *Pool) Each(n int, fn func(int)) {
+	switch {
+	case n <= 0:
+		return
+	case n == 1:
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.dispatch(func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}
+
 // cacheKeyFor binds public key, message, and signature into one cache
 // key. Field lengths are framed so no (sig, msg) split can collide with
 // another split of the same concatenation. Hashing costs ~100ns against
@@ -259,16 +285,9 @@ func (p *Pool) Entries(reg *identity.Registry, entries []*block.Entry) error {
 		return p.verifyOne(reg, 0, entries[0])
 	}
 	errs := make([]error, len(entries))
-	var wg sync.WaitGroup
-	for i, e := range entries {
-		i, e := i, e
-		wg.Add(1)
-		p.dispatch(func() {
-			defer wg.Done()
-			errs[i] = p.verifyOne(reg, i, e)
-		})
-	}
-	wg.Wait()
+	p.Each(len(entries), func(i int) {
+		errs[i] = p.verifyOne(reg, i, entries[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -277,13 +296,50 @@ func (p *Pool) Entries(reg *identity.Registry, entries []*block.Entry) error {
 	return nil
 }
 
+// CoSigners batch-verifies the co-signatures of a deletion entry: each
+// listed co-signer's Ed25519 signature over the cosigning bytes of the
+// entry's target, in parallel across the pool and through the
+// verified-signature cache. verdicts[i] reports whether e.CoSigners[i]
+// is a known identity with a valid signature. This is the lock-free
+// half of deletion authorization — the chain consumes the verdicts
+// under its lock without touching a signature again.
+func (p *Pool) CoSigners(reg *identity.Registry, e *block.Entry) []bool {
+	n := len(e.CoSigners)
+	if n == 0 {
+		return nil
+	}
+	msg := block.CoSigningBytes(e.Target)
+	verdicts := make([]bool, n)
+	p.Each(n, func(i int) {
+		cs := e.CoSigners[i]
+		info, ok := reg.Lookup(cs.Name)
+		verdicts[i] = ok && p.VerifySig(info.Public, msg, cs.Signature)
+	})
+	return verdicts
+}
+
 // Warm pre-verifies entries, populating the cache so a later Entries
-// call over the same batch resolves from hits. Failures are ignored —
-// the authoritative check happens at validation time.
+// call over the same batch resolves from hits. Deletion entries also
+// warm their co-signatures, so request authorization at sealing time
+// resolves from the cache too. Failures are ignored — the
+// authoritative check happens at validation time. Every unit is
+// dispatched as a leaf task (never a task that waits on other tasks),
+// so warming cannot deadlock the pool.
 func (p *Pool) Warm(reg *identity.Registry, entries []*block.Entry) {
 	for _, e := range entries {
 		e := e
 		p.dispatch(func() { _ = p.verifyOne(reg, 0, e) })
+		if e.Kind != block.KindDeletion {
+			continue
+		}
+		for _, cs := range e.CoSigners {
+			cs, target := cs, e.Target
+			p.dispatch(func() {
+				if info, ok := reg.Lookup(cs.Name); ok {
+					p.VerifySig(info.Public, block.CoSigningBytes(target), cs.Signature)
+				}
+			})
+		}
 	}
 }
 
@@ -322,18 +378,12 @@ func (p *Pool) Blocks(reg *identity.Registry, blocks []*block.Block) error {
 		}
 	}
 	errs := make([]error, len(units))
-	var wg sync.WaitGroup
-	for i, u := range units {
-		i, u := i, u
-		wg.Add(1)
-		p.dispatch(func() {
-			defer wg.Done()
-			if err := p.verifyOne(reg, u.entryIdx, u.entry); err != nil {
-				errs[i] = fmt.Errorf("block %d: %w", u.blockNum, err)
-			}
-		})
-	}
-	wg.Wait()
+	p.Each(len(units), func(i int) {
+		u := units[i]
+		if err := p.verifyOne(reg, u.entryIdx, u.entry); err != nil {
+			errs[i] = fmt.Errorf("block %d: %w", u.blockNum, err)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

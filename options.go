@@ -177,8 +177,7 @@ func WithAutoCohesion(p *AutoCohesionPolicy) Option {
 }
 
 // WithEngine wires a consensus engine: it seals freshly built normal
-// blocks and verifies seals on blocks received from peers. This replaces
-// the retired UseEngine(cfg, …) side-channel.
+// blocks and verifies seals on blocks received from peers.
 func WithEngine(e Engine) Option {
 	return func(b *builder) error {
 		if e == nil {
@@ -229,6 +228,24 @@ func WithMaxBatch(n int) Option {
 func WithBatchLinger(d time.Duration) Option {
 	return func(b *builder) error {
 		b.cfg.BatchLinger = d
+		return nil
+	}
+}
+
+// WithCompaction parameterizes the background compactor that executes
+// the physical side of truncation — cut-block memory release,
+// dependency-graph sweeps, store pruning via OnTruncate — off the
+// append path. The zero value is the asynchronous default; set
+// Synchronous to run that work inline on the append path (deterministic
+// single-threaded simulations that assert on store contents without a
+// CompactWait barrier). Queue is a capacity hint for the pending-event
+// staging buffer.
+func WithCompaction(o CompactionOptions) Option {
+	return func(b *builder) error {
+		if o.Queue < 0 {
+			return fmt.Errorf("%w: negative compaction queue", ErrConfig)
+		}
+		b.cfg.Compaction = o
 		return nil
 	}
 }

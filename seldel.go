@@ -64,6 +64,7 @@ import (
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/client"
 	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
@@ -106,13 +107,21 @@ type (
 	Sealed = mempool.Sealed
 	// PipelineStats are the submission pipeline's cumulative counters
 	// and backpressure gauges (intake-queue depth, adaptive linger,
-	// verify-pool utilization).
+	// verify-pool utilization, compaction progress).
 	PipelineStats = mempool.Stats
 	// Verifier is the parallel signature-verification pool with the
 	// verified-signature cache; see NewVerifier and WithVerifier.
 	Verifier = verify.Pool
 	// VerifyStats is a snapshot of a Verifier's activity.
 	VerifyStats = verify.Stats
+	// CompactionOptions parameterize the background compactor that
+	// executes the physical side of truncation off the append path;
+	// see WithCompaction.
+	CompactionOptions = compact.Options
+	// CompactionStats is a snapshot of the compactor's progress:
+	// pending truncations and blocks/bytes physically reclaimed. Use
+	// Chain.CompactWait to barrier on it.
+	CompactionStats = compact.Stats
 )
 
 // Block and entry types.
@@ -233,16 +242,10 @@ const (
 // form renders as "DEADB" exactly as in the paper's Fig. 6.
 var GenesisPrevHash = block.GenesisPrevHash
 
-// NewChain creates a chain with a fresh genesis block.
-//
-// Deprecated: use New with functional options (WithSequenceLength,
-// WithMaxSequences, WithEngine, WithStore, …). NewChain — like the
-// Chain.Commit method it is typically paired with — is retained for one
-// release as a migration shim and will then be removed; see the
-// deprecation window recorded in ROADMAP.md.
-func NewChain(cfg Config) (*Chain, error) { return chain.New(cfg) }
-
-// RestoreChain rebuilds a chain from persisted live blocks.
+// RestoreChain rebuilds a chain from persisted live blocks. Stores are
+// restored as streams (see OpenStoredChain / WithStore), so this slice
+// form is for blocks already in memory — adopted status-quo offers,
+// test fixtures.
 func RestoreChain(cfg Config, blocks []*Block) (*Chain, error) {
 	return chain.Restore(cfg, blocks)
 }
