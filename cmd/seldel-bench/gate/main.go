@@ -1,0 +1,156 @@
+// Command gate is the CI bench-smoke regression gate: it compares a
+// freshly measured `seldel-bench -json` report against the committed
+// baseline and fails (exit 1) when a guarded throughput metric
+// regressed by more than the allowed fraction.
+//
+// Only rate metrics are compared (ops/sec, blocks/sec), so the smoke
+// run may use a smaller -json-entries than the baseline. Guarded
+// metrics: submission throughput at 16 producers, and segment-store
+// restore-from-snapshot throughput.
+//
+// Usage:
+//
+//	gate -baseline BENCH_PR4.json -candidate bench-smoke.json -max-regress 0.30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/seldel/seldel/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	basePath := fs.String("baseline", "", "committed baseline report (e.g. BENCH_PR4.json)")
+	candPath := fs.String("candidate", "", "freshly measured report (e.g. bench-smoke.json)")
+	maxRegress := fs.Float64("max-regress", 0.30, "maximum allowed fractional regression per metric")
+	enforce := fs.Bool("enforce", false, "fail on regression even when the baseline was measured on different hardware")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *candPath == "" {
+		return fmt.Errorf("both -baseline and -candidate are required")
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readReport(*candPath)
+	if err != nil {
+		return err
+	}
+	failures := evaluate(base, cand, *maxRegress)
+	if len(failures) == 0 {
+		fmt.Println("bench gate passed")
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+	}
+	// Absolute rates only transfer between comparable machines. When
+	// the baseline was recorded on a different hardware class, a hard
+	// failure would be noise (and a pass would prove nothing), so the
+	// gate reports the regressions as advisory and asks the operator to
+	// recalibrate; -enforce overrides.
+	if match, why := hardwareComparable(base, cand); !match && !*enforce {
+		fmt.Fprintf(os.Stderr, "WARNING: baseline hardware differs from candidate (%s); "+
+			"regressions above are ADVISORY — regenerate the baseline from this environment's "+
+			"bench output (e.g. the CI bench-smoke artifact) to arm the gate, or pass -enforce\n", why)
+		return nil
+	}
+	return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(failures), *maxRegress*100)
+}
+
+// hardwareComparable reports whether two reports came from the same
+// hardware class — the precondition for comparing absolute rates.
+func hardwareComparable(base, cand *experiments.PipelineReport) (bool, string) {
+	if base.GOOS != cand.GOOS || base.GOARCH != cand.GOARCH {
+		return false, fmt.Sprintf("baseline %s/%s vs candidate %s/%s", base.GOOS, base.GOARCH, cand.GOOS, cand.GOARCH)
+	}
+	if base.NumCPU != cand.NumCPU {
+		return false, fmt.Sprintf("baseline num_cpu=%d vs candidate num_cpu=%d", base.NumCPU, cand.NumCPU)
+	}
+	return true, ""
+}
+
+func readReport(path string) (*experiments.PipelineReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r experiments.PipelineReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// metric extracts one guarded rate from a report; ok is false when the
+// report does not contain it (old baselines, partial runs).
+type metric struct {
+	name    string
+	extract func(*experiments.PipelineReport) (float64, bool)
+}
+
+var metrics = []metric{
+	{
+		name: "submit@16 ops/sec",
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.Results {
+				if res.API == "submit" && res.Producers == 16 {
+					return res.OpsPerSec, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
+		name: "segment restore-from-snapshot blocks/sec",
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.StorageResults {
+				if res.Op == "restore" && res.Store == "segment" && res.Detail == "snapshot" {
+					return res.BlocksPerSec, true
+				}
+			}
+			return 0, false
+		},
+	},
+}
+
+// evaluate returns one failure line per guarded metric whose candidate
+// rate fell more than maxRegress below the baseline rate. A metric
+// missing from the candidate while present in the baseline is a
+// failure too (the dimension silently stopped running); one missing
+// from the baseline is skipped.
+func evaluate(base, cand *experiments.PipelineReport, maxRegress float64) []string {
+	var failures []string
+	for _, m := range metrics {
+		b, ok := m.extract(base)
+		if !ok || b <= 0 {
+			continue
+		}
+		c, ok := m.extract(cand)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from candidate (baseline %.0f)", m.name, b))
+			continue
+		}
+		floor := b * (1 - maxRegress)
+		if c < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f < floor %.0f (baseline %.0f, allowed -%.0f%%)",
+				m.name, c, floor, b, maxRegress*100))
+		} else {
+			fmt.Printf("ok: %-45s %10.0f (baseline %.0f, floor %.0f)\n", m.name, c, b, floor)
+		}
+	}
+	return failures
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/seldel/seldel/internal/experiments"
+)
+
+func report(submit16, restoreSnap float64) *experiments.PipelineReport {
+	r := &experiments.PipelineReport{}
+	if submit16 > 0 {
+		r.Results = append(r.Results, experiments.PipelineResult{
+			API: "submit", Producers: 16, OpsPerSec: submit16,
+		})
+	}
+	if restoreSnap > 0 {
+		r.StorageResults = append(r.StorageResults, experiments.StorageResult{
+			Op: "restore", Store: "segment", Detail: "snapshot", BlocksPerSec: restoreSnap,
+		})
+	}
+	return r
+}
+
+func TestEvaluatePasses(t *testing.T) {
+	base := report(10000, 50000)
+	// 20% down on both metrics: inside the 30% allowance.
+	if fails := evaluate(base, report(8000, 40000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+	// Improvements obviously pass.
+	if fails := evaluate(base, report(20000, 90000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestEvaluateFlagsRegression(t *testing.T) {
+	base := report(10000, 50000)
+	fails := evaluate(base, report(6000, 50000), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "submit@16") {
+		t.Fatalf("want one submit@16 failure, got %v", fails)
+	}
+	fails = evaluate(base, report(10000, 30000), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "restore-from-snapshot") {
+		t.Fatalf("want one restore failure, got %v", fails)
+	}
+}
+
+func TestEvaluateMissingMetric(t *testing.T) {
+	base := report(10000, 50000)
+	// Candidate silently lost the storage dimension: that is a failure.
+	fails := evaluate(base, report(10000, 0), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
+		t.Fatalf("want missing-metric failure, got %v", fails)
+	}
+	// Baseline without the dimension (pre-PR-4 file): skipped, not failed.
+	if fails := evaluate(report(10000, 0), report(10000, 0), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures vs old baseline: %v", fails)
+	}
+}
+
+func TestHardwareComparable(t *testing.T) {
+	same := func() *experiments.PipelineReport {
+		return &experiments.PipelineReport{GOOS: "linux", GOARCH: "amd64", NumCPU: 4}
+	}
+	if ok, _ := hardwareComparable(same(), same()); !ok {
+		t.Error("identical hardware reported as incomparable")
+	}
+	other := same()
+	other.NumCPU = 1
+	if ok, why := hardwareComparable(same(), other); ok || why == "" {
+		t.Errorf("num_cpu mismatch not flagged: ok=%v why=%q", ok, why)
+	}
+	osDiff := same()
+	osDiff.GOOS = "darwin"
+	if ok, _ := hardwareComparable(same(), osDiff); ok {
+		t.Error("goos mismatch not flagged")
+	}
+}
+
+// TestRunAdvisoryOnHardwareMismatch pins the end-to-end gating policy:
+// a regression vs a different-hardware baseline warns but exits clean,
+// while the same regression on matching hardware (or with -enforce)
+// fails.
+func TestRunAdvisoryOnHardwareMismatch(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *experiments.PipelineReport) string {
+		path := filepath.Join(dir, name)
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := report(10000, 50000)
+	base.GOOS, base.GOARCH, base.NumCPU = "linux", "amd64", 1
+	slow := report(3000, 50000)
+	slow.GOOS, slow.GOARCH, slow.NumCPU = "linux", "amd64", 4
+	basePath := write("base.json", base)
+	slowPath := write("slow.json", slow)
+	if err := run([]string{"-baseline", basePath, "-candidate", slowPath}); err != nil {
+		t.Errorf("hardware-mismatched regression should be advisory, got %v", err)
+	}
+	if err := run([]string{"-baseline", basePath, "-candidate", slowPath, "-enforce"}); err == nil {
+		t.Error("-enforce should fail the mismatched regression")
+	}
+	sameHW := report(3000, 50000)
+	sameHW.GOOS, sameHW.GOARCH, sameHW.NumCPU = "linux", "amd64", 1
+	samePath := write("same.json", sameHW)
+	if err := run([]string{"-baseline", basePath, "-candidate", samePath}); err == nil {
+		t.Error("matching-hardware regression should fail")
+	}
+}

@@ -61,6 +61,17 @@ func run(args []string) error {
 				r.Producers, r.Deletions, r.DeletionsPerSec, r.AvgAppendMicros,
 				r.Truncations, r.BlocksCompacted)
 		}
+		for _, r := range report.StorageResults {
+			switch r.Op {
+			case "reclaim":
+				fmt.Printf("storage %-8s %-18s blocks=%-5d bytes %d -> %d (reclaimed %d, %d segments)\n",
+					r.Op, r.Store, r.Blocks, r.BytesBefore, r.BytesAfter, r.BytesReclaimed, r.Segments)
+			default:
+				fmt.Printf("storage %-8s %-18s blocks=%-5d %10.0f blocks/sec %s\n",
+					r.Op, r.Store, r.Blocks, r.BlocksPerSec, r.Detail)
+			}
+		}
+		fmt.Printf("restore snapshot vs genesis: %.2fx\n", report.RestoreSnapshotSpeedup)
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}

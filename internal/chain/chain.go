@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -245,6 +246,14 @@ type Chain struct {
 	// index maps stable entry references (origin block, entry number) to
 	// current locations; it covers data entries only.
 	index map[block.Ref]Location
+	// indexPeak is the high-water entry count of index since its last
+	// rebuild. Go maps never release their buckets, so after a large cut
+	// the map can pin an arbitrary multiple of its live size; the
+	// compactor rebuilds it when live/peak falls below the shrink
+	// threshold (see maybeShrinkIndexLocked).
+	indexPeak int
+	// indexRebuilds counts those shrink rebuilds (PipelineStats gauge).
+	indexRebuilds uint64
 	// dependents maps a target reference to the entries depending on it.
 	dependents map[block.Ref][]deletion.Dependent
 	// marks holds approved, not-yet-executed deletion marks.
@@ -275,6 +284,23 @@ type Chain struct {
 	compMu     sync.Mutex
 	comp       atomic.Pointer[compact.Compactor]
 	compClosed bool
+
+	// owned are resources whose lifecycle the chain adopted (e.g. a
+	// store opened internally by seldel.WithSegmentStore). Close shuts
+	// them down last — after the pipeline drained and the compactor
+	// executed its final store pruning.
+	ownMu sync.Mutex
+	owned []io.Closer
+}
+
+// Own transfers a resource's lifecycle to the chain: it is closed by
+// Chain.Close after the submission pipeline and compactor have drained.
+// Used by the façade for stores it opens on the caller's behalf;
+// resources the caller constructed stay the caller's to close.
+func (c *Chain) Own(r io.Closer) {
+	c.ownMu.Lock()
+	defer c.ownMu.Unlock()
+	c.owned = append(c.owned, r)
 }
 
 // New creates a chain with a fresh genesis block (number 0, previous hash
@@ -560,24 +586,39 @@ func (c *Chain) BuildNormal(entries []*block.Entry) (*block.Block, error) {
 // a summary block is executed logically under the lock; its physical
 // side is handed to the background compactor (see CompactWait).
 func (c *Chain) AppendBlock(b *block.Block) error {
+	_, err := c.appendBlock(b)
+	return err
+}
+
+// appendBlock is AppendBlock surfacing the deletion-mark outcomes of
+// the appended block's entries, for the submission pipeline's receipts.
+func (c *Chain) appendBlock(b *block.Block) ([]mempool.MarkOutcome, error) {
 	if err := b.CheckShape(); err != nil {
-		return err
+		return nil, err
 	}
 	var checks cosigChecks
 	if !b.IsSummary() {
 		if err := c.screenPosition(b); err != nil {
-			return err
+			return nil, err
 		}
 		if err := c.verifyEntries(b.Entries); err != nil {
-			return err
+			return nil, err
 		}
 		checks = c.precheckDeletions(b.Entries)
 	}
+	return c.appendVerified(b, checks)
+}
+
+// appendVerified finishes an append whose lock-free verification
+// already ran, returning the mark outcomes of the block's deletion
+// entries (aligned with b.Entries; nil for summary blocks) so the
+// submission pipeline can resolve them onto receipts.
+func (c *Chain) appendVerified(b *block.Block, checks cosigChecks) ([]mempool.MarkOutcome, error) {
 	c.mu.Lock()
 	events, err := c.appendLocked(b, checks)
 	c.mu.Unlock()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, l := range c.listenersSnapshot() {
 		for _, ab := range events.appended {
@@ -587,7 +628,7 @@ func (c *Chain) AppendBlock(b *block.Block) error {
 	if events.truncated != nil {
 		c.compactor().Enqueue(*events.truncated)
 	}
-	return nil
+	return events.outcomes, nil
 }
 
 // cosigChecks holds the lock-free co-signature prechecks of a candidate
@@ -639,6 +680,9 @@ func (c *Chain) screenPosition(b *block.Block) error {
 type chainEvents struct {
 	appended  []*block.Block
 	truncated *compact.Event
+	// outcomes are the per-entry deletion-mark outcomes of an appended
+	// normal block (nil when it held no deletion entries).
+	outcomes []mempool.MarkOutcome
 }
 
 func (c *Chain) listenersSnapshot() []Listener {
@@ -703,9 +747,36 @@ func (c *Chain) appendLocked(b *block.Block, checks cosigChecks) (chainEvents, e
 		return events, err
 	}
 	c.pushBlock(b)
-	c.processNormal(b, checks)
+	events.outcomes = c.processNormal(b, checks)
 	events.appended = append(events.appended, b)
 	return events, nil
+}
+
+// indexShrinkMinPeak is the smallest index high-water mark at which a
+// shrink rebuild is considered: below it the pinned buckets are noise
+// and a rebuild would just churn.
+const indexShrinkMinPeak = 1024
+
+// indexShrinkFactor triggers a rebuild when live entries fall below
+// peak/indexShrinkFactor — i.e. at least 75% of the map's bucket
+// capacity is dead weight.
+const indexShrinkFactor = 4
+
+// maybeShrinkIndexLocked rebuilds the entry index into a right-sized
+// map when a cut left it mostly empty. Runs on the compactor goroutine
+// under the chain lock: the rebuild is O(live), off the append path,
+// and invisible to readers.
+func (c *Chain) maybeShrinkIndexLocked() {
+	if c.indexPeak < indexShrinkMinPeak || len(c.index)*indexShrinkFactor >= c.indexPeak {
+		return
+	}
+	fresh := make(map[block.Ref]Location, len(c.index))
+	for ref, loc := range c.index {
+		fresh[ref] = loc
+	}
+	c.index = fresh
+	c.indexPeak = len(fresh)
+	c.indexRebuilds++
 }
 
 // pushBlock links b into the live slice, indexes its entries, and feeds
@@ -729,6 +800,9 @@ func (c *Chain) pushBlock(b *block.Block) {
 			c.index[ref] = Location{Block: num, Index: i, Carried: true}
 		}
 		c.ledger.migrate(num, b.Carried)
+		if len(c.index) > c.indexPeak {
+			c.indexPeak = len(c.index)
+		}
 		return
 	}
 	for i, e := range b.Entries {
@@ -745,15 +819,22 @@ func (c *Chain) pushBlock(b *block.Block) {
 		})
 		c.liveEntries++
 	}
+	if len(c.index) > c.indexPeak {
+		c.indexPeak = len(c.index)
+	}
 }
 
 // processNormal applies the side effects of a freshly appended normal
 // block: dependency registration and deletion-request processing.
 // checks holds the lock-free co-signature verdicts of the block's
 // deletion entries (precheckDeletions), so no signature is verified
-// while the chain lock is held.
-func (c *Chain) processNormal(b *block.Block, checks cosigChecks) {
+// while the chain lock is held. The returned outcomes (aligned with
+// b.Entries, nil when the block held no deletion entries) say which
+// requests created marks and which were silently rejected — the
+// submission pipeline resolves them onto receipts.
+func (c *Chain) processNormal(b *block.Block, checks cosigChecks) []mempool.MarkOutcome {
 	num := b.Header.Number
+	var outcomes []mempool.MarkOutcome
 	for i, e := range b.Entries {
 		ref := block.Ref{Block: num, Entry: uint32(i)}
 		switch e.Kind {
@@ -762,25 +843,34 @@ func (c *Chain) processNormal(b *block.Block, checks cosigChecks) {
 				c.dependents[dep] = append(c.dependents[dep], deletion.Dependent{Ref: ref, Owner: e.Owner})
 			}
 		case block.KindDeletion:
-			c.processDeletionRequest(e, ref, num, checks[i])
+			if outcomes == nil {
+				outcomes = make([]mempool.MarkOutcome, len(b.Entries))
+			}
+			if c.processDeletionRequest(e, ref, num, checks[i]) {
+				outcomes[i] = mempool.MarkApproved
+			} else {
+				outcomes[i] = mempool.MarkRejected
+			}
 		}
 	}
+	return outcomes
 }
 
 // processDeletionRequest validates a deletion request against §IV-D and
-// creates a mark on success. Invalid requests stay in the chain but have
-// no effect ("wrong request of deletions can be included in the
-// blockchain, but these have no further effects", §V). The co-signature
-// verdicts arrive precomputed; only the stateful rules run here.
-func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock uint64, pre deletion.CoSigCheck) {
+// creates a mark on success, reporting whether the mark was approved.
+// Invalid requests stay in the chain but have no effect ("wrong request
+// of deletions can be included in the blockchain, but these have no
+// further effects", §V). The co-signature verdicts arrive precomputed;
+// only the stateful rules run here.
+func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock uint64, pre deletion.CoSigCheck) bool {
 	target, _, ok := c.lookup(e.Target)
 	if !ok {
 		c.stats.RejectedRequests++
-		return
+		return false
 	}
 	if err := c.auth.ValidateRequestPrechecked(e, target, c.liveDependents(e.Target), pre); err != nil {
 		c.stats.RejectedRequests++
-		return
+		return false
 	}
 	if _, already := c.marks[e.Target]; !already {
 		// The target leaves the live set logically; physical deletion
@@ -799,6 +889,7 @@ func (c *Chain) processDeletionRequest(e *block.Entry, ref block.Ref, atBlock ui
 		RequestRef:    ref,
 		MarkedAtBlock: atBlock,
 	}
+	return true
 }
 
 // liveDependents returns the dependents of target that are still alive
@@ -846,32 +937,34 @@ func (c *Chain) CheckDeletionRequest(e *block.Entry) error {
 // single flusher serializes them; everything else writes through Submit.
 // (The exported Chain.Commit facade was removed at the end of its
 // deprecation window — use Submit/SubmitWait, or AppendEmpty for filler
-// blocks.)
-func (c *Chain) commit(entries []*block.Entry) ([]*block.Block, error) {
+// blocks.) The returned outcomes are the normal block's deletion-mark
+// verdicts, aligned with entries.
+func (c *Chain) commit(entries []*block.Entry) ([]*block.Block, []mempool.MarkOutcome, error) {
 	normal, err := c.BuildNormal(entries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if c.cfg.Seal != nil {
 		if err := c.cfg.Seal(normal); err != nil {
-			return nil, fmt.Errorf("chain: seal: %w", err)
+			return nil, nil, fmt.Errorf("chain: seal: %w", err)
 		}
 	}
-	if err := c.AppendBlock(normal); err != nil {
-		return nil, err
+	outcomes, err := c.appendBlock(normal)
+	if err != nil {
+		return nil, nil, err
 	}
 	appended := []*block.Block{normal}
 	for c.NextIsSummary() {
 		summary, err := c.BuildSummary()
 		if err != nil {
-			return appended, err
+			return appended, outcomes, err
 		}
 		if err := c.AppendBlock(summary); err != nil {
-			return appended, err
+			return appended, outcomes, err
 		}
 		appended = append(appended, summary)
 	}
-	return appended, nil
+	return appended, outcomes, nil
 }
 
 // AppendEmpty appends an empty filler block (and any due summary block).
@@ -880,7 +973,8 @@ func (c *Chain) commit(entries []*block.Entry) ([]*block.Block, error) {
 // it can lose a head race against concurrent writers (ErrNotNext);
 // retention tickers simply retry on the next tick.
 func (c *Chain) AppendEmpty() ([]*block.Block, error) {
-	return c.commit(nil)
+	blocks, _, err := c.commit(nil)
+	return blocks, err
 }
 
 // VerifyIntegrity re-validates the whole live chain: hash links, body
@@ -978,6 +1072,9 @@ func (c *Chain) runCompaction(ev compact.Event) {
 			c.dependents[target] = kept
 		}
 	}
+	// Large cuts leave the entry index mostly dead buckets; rebuild it
+	// right-sized while we are already off the append path.
+	c.maybeShrinkIndexLocked()
 	c.mu.Unlock()
 	for _, l := range c.listenersSnapshot() {
 		l.OnTruncate(ev.OldMarker, ev.NewMarker)

@@ -73,7 +73,7 @@ func newChain(t *testing.T, cfg Config) *Chain {
 
 func mustSeal(t *testing.T, c *Chain, entries ...*block.Entry) []*block.Block {
 	t.Helper()
-	blocks, err := c.commit(entries)
+	blocks, _, err := c.commit(entries)
 	if err != nil {
 		t.Fatalf("seal: %v", err)
 	}
@@ -311,7 +311,7 @@ func TestDeterministicAcrossChains(t *testing.T) {
 
 	for i := 0; i < 10; i++ {
 		entries := []*block.Entry{env.data("alpha", fmt.Sprintf("payload-%d", i))}
-		blocks, err := c1.commit(entries)
+		blocks, _, err := c1.commit(entries)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,67 @@
+package chain
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// TestIndexShrinksAfterLargeCut pins the compactor's map rebuild: a
+// chain indexes well past indexShrinkMinPeak entries, a retention merge
+// cuts almost all of them (expired temporaries are not carried), and
+// the background compactor must rebuild the entry index instead of
+// leaving a map whose buckets still size to the peak.
+func TestIndexShrinksAfterLargeCut(t *testing.T) {
+	env := newEnv(t, "alpha")
+	cfg := defaultConfig(env)
+	cfg.SequenceLength = 4
+	cfg.MaxSequences = 0
+	cfg.MaxBlocks = 48
+	c := newChain(t, cfg)
+	defer c.Close()
+	ctx := context.Background()
+
+	// Fill the index beyond the shrink threshold with temporaries that
+	// are already expired at the first merge (expire at block 1), so
+	// the cut drops essentially everything.
+	const total = indexShrinkMinPeak + 400
+	const batch = 64
+	for submitted := 0; submitted < total; submitted += batch {
+		entries := make([]*block.Entry, 0, batch)
+		for i := 0; i < batch; i++ {
+			entries = append(entries, env.temp("alpha", fmt.Sprintf("t-%05d", submitted+i), 0, 1))
+		}
+		if _, err := c.SubmitWait(ctx, entries...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak := c.PipelineStats().Index.Peak
+	if peak < indexShrinkMinPeak {
+		t.Fatalf("fixture too small: index peak %d < %d", peak, indexShrinkMinPeak)
+	}
+
+	// Push the chain over its block bound so a summary merge cuts the
+	// prefix, then barrier on the compactor.
+	for c.Marker() == 0 {
+		if _, err := c.AppendEmpty(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CompactWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := c.PipelineStats().Index
+	if idx.Rebuilds == 0 {
+		t.Fatalf("no index rebuild after cutting %d of %d entries (live=%d peak=%d)",
+			peak-idx.Live, peak, idx.Live, idx.Peak)
+	}
+	if idx.Peak >= peak {
+		t.Errorf("peak did not reset on rebuild: %d -> %d", peak, idx.Peak)
+	}
+	if idx.Live*indexShrinkFactor >= peak {
+		t.Errorf("cut too small to prove anything: live=%d peak=%d", idx.Live, peak)
+	}
+}

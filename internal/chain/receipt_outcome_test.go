@@ -1,0 +1,74 @@
+package chain
+
+import (
+	"context"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/mempool"
+)
+
+// TestReceiptCarriesMarkOutcome pins that a sealed deletion request's
+// receipt reports whether the mark was approved or silently rejected —
+// no IsMarked poll required — and that data entries report MarkNone.
+func TestReceiptCarriesMarkOutcome(t *testing.T) {
+	env := newEnv(t, "ALPHA", "BRAVO")
+	c := newChain(t, defaultConfig(env))
+	defer c.Close()
+	ctx := context.Background()
+
+	sealed, err := c.SubmitWait(ctx, env.data("ALPHA", "payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed[0].Mark != mempool.MarkNone {
+		t.Errorf("data entry Mark = %v, want none", sealed[0].Mark)
+	}
+	target := sealed[0].Ref
+
+	// BRAVO (plain user, not the owner, no co-signature) is included
+	// on-chain but has no effect (§V) — the receipt says so directly.
+	rejected, err := c.SubmitWait(ctx, env.del("BRAVO", target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected[0].Mark != mempool.MarkRejected {
+		t.Errorf("foreign deletion Mark = %v, want rejected", rejected[0].Mark)
+	}
+	if c.IsMarked(target) {
+		t.Fatal("rejected request created a mark")
+	}
+
+	// The owner's request is approved, and the receipt agrees with the
+	// chain's mark set.
+	approved, err := c.SubmitWait(ctx, env.del("ALPHA", target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approved[0].Mark != mempool.MarkApproved {
+		t.Errorf("owner deletion Mark = %v, want approved", approved[0].Mark)
+	}
+	if !c.IsMarked(target) {
+		t.Fatal("approved request left no mark")
+	}
+
+	// A request for a target that never existed is also rejected.
+	ghost, err := c.SubmitWait(ctx, env.del("ALPHA", block.Ref{Block: 999, Entry: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghost[0].Mark != mempool.MarkRejected {
+		t.Errorf("ghost-target deletion Mark = %v, want rejected", ghost[0].Mark)
+	}
+
+	// Mixed batch in one Submit call: outcomes stay aligned per entry.
+	dataE := env.data("ALPHA", "second")
+	sealedBatch, err := c.SubmitWait(ctx, dataE, env.del("ALPHA", block.Ref{Block: 998, Entry: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealedBatch[0].Mark != mempool.MarkNone || sealedBatch[1].Mark != mempool.MarkRejected {
+		t.Errorf("mixed batch outcomes = %v/%v, want none/rejected",
+			sealedBatch[0].Mark, sealedBatch[1].Mark)
+	}
+}

@@ -27,16 +27,34 @@ func Restore(cfg Config, blocks []*block.Block) (*Chain, error) {
 	})
 }
 
+// restoreLookahead is the restore pipeline's window: how many streamed
+// blocks may sit decoded-and-verified ahead of the registration stage.
+// Small on purpose — the window bounds extra memory to a handful of
+// blocks while still overlapping the CPU-heavy verification of block
+// N+1 with the state registration of block N.
+const restoreLookahead = 4
+
+// restoreVerified is one block that has passed the stream's stateless
+// stage (shape check, pooled signature verification, deletion
+// co-signature prechecks) and awaits ordered registration.
+type restoreVerified struct {
+	b      *block.Block
+	checks cosigChecks
+	err    error
+}
+
 // RestoreStream rebuilds a chain from a stream of persisted live blocks
-// (e.g. Store.Stream), bounding memory to the live chain itself: each
-// block is structurally checked, its signatures — including entries
-// carried inside summary blocks and the co-signatures of deletion
-// requests — are verified through the parallel verification pool, and
-// its state (index, dependency edges, marks, carried-entry ledger) is
-// registered, all before the next block is decoded. A tampered
-// persisted chain (or a malicious status-quo offer) is therefore
-// rejected at the offending block instead of poisoning later
-// validations.
+// (e.g. Store.Stream), bounding memory to the live chain itself plus a
+// small look-ahead window: a pipeline stage decodes each block and
+// verifies its signatures — including entries carried inside summary
+// blocks and the co-signatures of deletion requests — through the
+// parallel verification pool, while the registration stage applies the
+// order-dependent checks (hash link, slot kind) and chain state (index,
+// dependency edges, marks, carried-entry ledger) of the block before
+// it. Verification is chain-state independent, so overlapping block
+// N+1's verification with block N's registration is sound; a tampered
+// persisted chain (or a malicious status-quo offer) is still rejected
+// at the offending block instead of poisoning later validations.
 //
 // Deletion marks are reconstructed by re-processing the deletion entries
 // present in the live blocks; marks whose targets were already physically
@@ -56,22 +74,49 @@ func RestoreStream(cfg Config, blocks iter.Seq2[*block.Block, error]) (*Chain, e
 		marks:      make(map[block.Ref]Mark),
 		ledger:     newCarriedLedger(),
 	}
+	// Producer: stream, shape-check, and pool-verify up to
+	// restoreLookahead blocks ahead of registration. It stops at the
+	// first error it produces and unblocks promptly when the consumer
+	// abandons the restore.
+	ch := make(chan restoreVerified, restoreLookahead)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(ch)
+		for b, err := range blocks {
+			v := restoreVerified{b: b, err: err}
+			if v.err != nil {
+				v.err = fmt.Errorf("chain: restore: %w", v.err)
+			} else {
+				v.checks, v.err = c.verifyRestoredBlock(b)
+			}
+			select {
+			case ch <- v:
+			case <-stop:
+				return
+			}
+			if v.err != nil {
+				return
+			}
+		}
+	}()
+
 	var prev *block.Block
 	n := uint64(0)
-	for b, err := range blocks {
-		if err != nil {
-			return nil, fmt.Errorf("chain: restore: %w", err)
+	for v := range ch {
+		if v.err != nil {
+			return nil, v.err
 		}
 		if prev == nil {
-			c.marker = b.Header.Number
+			c.marker = v.b.Header.Number
 			if c.marker%uint64(full.SequenceLength) != 0 {
 				return nil, fmt.Errorf("%w: first block %d is not sequence-aligned", ErrConfig, c.marker)
 			}
 		}
-		if err := c.restoreBlock(b, prev); err != nil {
+		if err := c.registerRestoredBlock(v.b, prev, v.checks); err != nil {
 			return nil, err
 		}
-		prev = b
+		prev = v.b
 		n++
 	}
 	if prev == nil {
@@ -85,15 +130,28 @@ func RestoreStream(cfg Config, blocks iter.Seq2[*block.Block, error]) (*Chain, e
 	return c, nil
 }
 
-// restoreBlock checks and registers one streamed block. The chain is
-// not yet shared, so no lock is held — but signature work still routes
-// through the pool (parallel within the block, warm cache for later
-// gossip re-checks), and deletion requests consume pooled co-signature
-// prechecks exactly like the live append path.
-func (c *Chain) restoreBlock(b *block.Block, prev *block.Block) error {
+// verifyRestoredBlock runs the chain-state-independent half of a
+// streamed block's restore: structural shape, pooled signature
+// verification, and the deletion co-signature prechecks. It only reads
+// the chain's immutable configuration, so the restore pipeline may run
+// it for block N+1 while block N is still being registered.
+func (c *Chain) verifyRestoredBlock(b *block.Block) (cosigChecks, error) {
 	if err := b.CheckShape(); err != nil {
-		return fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
+		return nil, fmt.Errorf("chain: restore block %d: %w", b.Header.Number, err)
 	}
+	if err := c.cfg.Verifier.Blocks(c.cfg.Registry, []*block.Block{b}); err != nil {
+		return nil, fmt.Errorf("chain: restore: %w", err)
+	}
+	if b.IsSummary() {
+		return nil, nil
+	}
+	return c.precheckDeletions(b.Entries), nil
+}
+
+// registerRestoredBlock applies the order-dependent checks and state
+// registration of one pipeline-verified block. The chain is not yet
+// shared, so no lock is held.
+func (c *Chain) registerRestoredBlock(b *block.Block, prev *block.Block, checks cosigChecks) error {
 	if prev != nil {
 		wantNum := prev.Header.Number + 1
 		if b.Header.Number != wantNum {
@@ -106,11 +164,7 @@ func (c *Chain) restoreBlock(b *block.Block, prev *block.Block) error {
 	if b.IsSummary() != c.isSummarySlot(b.Header.Number) {
 		return fmt.Errorf("chain: restore: block %d kind %s does not match slot", b.Header.Number, b.Header.Kind)
 	}
-	if err := c.cfg.Verifier.Blocks(c.cfg.Registry, []*block.Block{b}); err != nil {
-		return fmt.Errorf("chain: restore: %w", err)
-	}
 	if !b.IsSummary() {
-		checks := c.precheckDeletions(b.Entries)
 		c.pushBlock(b)
 		c.processNormal(b, checks)
 		return nil

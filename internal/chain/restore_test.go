@@ -1,0 +1,136 @@
+package chain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// restoreFixture builds a live chain with data, deletion marks, and at
+// least one summary block, returning its blocks and config.
+func restoreFixture(t *testing.T, n int) (Config, []*block.Block, *Chain) {
+	t.Helper()
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("writer", "restore-lookahead")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		SequenceLength: 3,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		e := block.NewData("writer", []byte(fmt.Sprintf("r-%02d", i))).Sign(kp)
+		sealed, err := c.SubmitWait(ctx, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := c.SubmitWait(ctx, block.NewDeletion("writer", sealed[0].Ref).Sign(kp)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A fresh logical clock for each restore, so timestamps replay.
+	restoreCfg := cfg
+	restoreCfg.Clock = simclock.NewLogical(0)
+	return restoreCfg, c.Blocks(), c
+}
+
+// TestRestoreStreamLookahead pins that the pipelined restore (verify
+// block N+1 while registering block N) reproduces the same chain state
+// as the live one: head hash, marker, marks, and entry index.
+func TestRestoreStreamLookahead(t *testing.T) {
+	cfg, blocks, live := restoreFixture(t, 20)
+	restored, err := RestoreStream(cfg, func(yield func(*block.Block, error) bool) {
+		for _, b := range blocks {
+			if !yield(b, nil) {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("RestoreStream: %v", err)
+	}
+	defer restored.Close()
+	if restored.HeadHash() != live.HeadHash() {
+		t.Error("restored head hash differs")
+	}
+	if restored.Marker() != live.Marker() {
+		t.Errorf("restored marker %d, want %d", restored.Marker(), live.Marker())
+	}
+	if got, want := len(restored.Marks()), len(live.Marks()); got != want {
+		t.Errorf("restored %d marks, want %d", got, want)
+	}
+	if err := restored.VerifyIntegrity(); err != nil {
+		t.Errorf("restored integrity: %v", err)
+	}
+}
+
+// TestRestoreStreamRejectsTamperedBlock pins that the look-ahead window
+// does not let a tampered block slip through: the restore fails at the
+// offending block even when later blocks are already verified ahead.
+func TestRestoreStreamRejectsTamperedBlock(t *testing.T) {
+	cfg, blocks, _ := restoreFixture(t, 20)
+	if len(blocks) < restoreLookahead+4 {
+		t.Fatalf("fixture too short: %d blocks", len(blocks))
+	}
+	// Tamper with a mid-stream block's payload (breaks the hash link of
+	// its successor AND its own entries root — either way the restore
+	// must stop there, with the window already past it).
+	tampered := make([]*block.Block, len(blocks))
+	copy(tampered, blocks)
+	victim := tampered[len(blocks)/2].Clone()
+	if len(victim.Entries) == 0 {
+		victim = tampered[len(blocks)/2+1].Clone()
+	}
+	if len(victim.Entries) > 0 {
+		victim.Entries[0].Payload = []byte("tampered")
+	}
+	tampered[len(blocks)/2] = victim
+	_, err := RestoreStream(cfg, func(yield func(*block.Block, error) bool) {
+		for _, b := range tampered {
+			if !yield(b, nil) {
+				return
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("tampered chain restored without error")
+	}
+}
+
+// TestRestoreStreamPropagatesSourceError pins that an error yielded by
+// the stream itself surfaces and the pipeline shuts down cleanly.
+func TestRestoreStreamPropagatesSourceError(t *testing.T) {
+	cfg, blocks, _ := restoreFixture(t, 12)
+	srcErr := errors.New("disk exploded")
+	var seq iter.Seq2[*block.Block, error] = func(yield func(*block.Block, error) bool) {
+		for i, b := range blocks {
+			if i == 5 {
+				yield(nil, srcErr)
+				return
+			}
+			if !yield(b, nil) {
+				return
+			}
+		}
+	}
+	_, err := RestoreStream(cfg, seq)
+	if !errors.Is(err, srcErr) {
+		t.Fatalf("RestoreStream error = %v, want wrapped source error", err)
+	}
+}

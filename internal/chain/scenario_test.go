@@ -197,7 +197,7 @@ func TestWrongDeletionRequestsHaveNoEffect(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			before := c.Stats().RejectedRequests
-			if _, err := c.commit([]*block.Entry{tt.req}); err != nil {
+			if _, _, err := c.commit([]*block.Entry{tt.req}); err != nil {
 				t.Fatalf("request not included: %v", err)
 			}
 			if c.IsMarked(block.Ref{Block: 1, Entry: 0}) {
@@ -437,7 +437,7 @@ func TestDependingOnMarkedEntryIsRejected(t *testing.T) {
 		t.Fatal("mark not created")
 	}
 	dep := block.NewData("ALPHA", []byte("late dependent")).WithDependsOn(target).Sign(env.keys["ALPHA"])
-	if _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMarked) {
+	if _, _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMarked) {
 		t.Errorf("err = %v, want ErrDependsMarked", err)
 	}
 }
@@ -446,7 +446,7 @@ func TestDependencyOnMissingEntryRejected(t *testing.T) {
 	env := newEnv(t, "ALPHA")
 	c := newChain(t, defaultConfig(env))
 	dep := block.NewData("ALPHA", []byte("orphan")).WithDependsOn(block.Ref{Block: 9, Entry: 9}).Sign(env.keys["ALPHA"])
-	if _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMissing) {
+	if _, _, err := c.commit([]*block.Entry{dep}); !errors.Is(err, ErrDependsMissing) {
 		t.Errorf("err = %v, want ErrDependsMissing", err)
 	}
 }
@@ -594,13 +594,13 @@ func TestQuickChainInvariants(t *testing.T) {
 			user := users[int(op)%len(users)]
 			switch op % 4 {
 			case 0, 1: // data entry
-				blocks, err := c.commit([]*block.Entry{env.data(user, fmt.Sprintf("p%d", op))})
+				blocks, _, err := c.commit([]*block.Entry{env.data(user, fmt.Sprintf("p%d", op))})
 				if err != nil {
 					return false
 				}
 				livingRefs = append(livingRefs, block.Ref{Block: blocks[0].Header.Number, Entry: 0})
 			case 2: // temporary entry
-				if _, err := c.commit([]*block.Entry{env.temp(user, "tmp", uint64(op%16), 0)}); err != nil {
+				if _, _, err := c.commit([]*block.Entry{env.temp(user, "tmp", uint64(op%16), 0)}); err != nil {
 					return false
 				}
 			case 3: // deletion attempt on a random earlier ref
@@ -614,7 +614,7 @@ func TestQuickChainInvariants(t *testing.T) {
 				} else {
 					owner = user
 				}
-				if _, err := c.commit([]*block.Entry{env.del(owner, target)}); err != nil {
+				if _, _, err := c.commit([]*block.Entry{env.del(owner, target)}); err != nil {
 					return false
 				}
 			}

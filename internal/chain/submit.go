@@ -117,7 +117,7 @@ func (c *Chain) pipeline() (*mempool.Batcher, error) {
 type sealer struct{ c *Chain }
 
 // Seal implements mempool.Ledger.
-func (s sealer) Seal(entries []*block.Entry) ([]*block.Block, error) {
+func (s sealer) Seal(entries []*block.Entry) ([]*block.Block, []mempool.MarkOutcome, error) {
 	return s.c.commit(entries)
 }
 
@@ -143,6 +143,13 @@ func (c *Chain) PipelineStats() mempool.Stats {
 		s = b.Stats()
 	}
 	s.Verify = c.cfg.Verifier.Stats()
+	c.mu.RLock()
+	s.Index = mempool.IndexStats{
+		Live:     len(c.index),
+		Peak:     c.indexPeak,
+		Rebuilds: c.indexRebuilds,
+	}
+	c.mu.RUnlock()
 	if k := c.comp.Load(); k != nil {
 		s.Compaction = k.Stats()
 	} else {
@@ -176,6 +183,19 @@ func (c *Chain) Close() error {
 	c.compMu.Unlock()
 	if k != nil {
 		k.Close()
+	}
+	// Owned resources (stores opened by the façade on the caller's
+	// behalf) close last, after the compactor's final store pruning:
+	// this is where a segment store syncs its active tail and persists
+	// its manifest.
+	c.ownMu.Lock()
+	owned := c.owned
+	c.owned = nil
+	c.ownMu.Unlock()
+	for _, r := range owned {
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

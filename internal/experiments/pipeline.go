@@ -89,6 +89,14 @@ type PipelineReport struct {
 	// deletions/sec through the pooled authorization path and append
 	// latency while the background compactor truncates.
 	DeletionResults []DeletionResult `json:"deletion_results"`
+	// StorageResults is the storage dimension (PR 4): segment-store
+	// append throughput vs the one-file-per-block layout, restore time
+	// from the snapshot checkpoint vs a full genesis replay, and bytes
+	// physically reclaimed by a truncating deletion run.
+	StorageResults []StorageResult `json:"storage_results"`
+	// RestoreSnapshotSpeedup is restore-from-genesis seconds over
+	// restore-from-snapshot seconds on the storage workload.
+	RestoreSnapshotSpeedup float64 `json:"restore_snapshot_speedup"`
 	// VerifyPoolSpeedup is submit@16 ops/s at the widest GOMAXPROCS over
 	// GOMAXPROCS=1, cache enabled in both: the parallel-verification win.
 	VerifyPoolSpeedup float64 `json:"verify_pool_speedup"`
@@ -341,6 +349,13 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 		return nil, err
 	}
 	report.DeletionResults = dr
+
+	sr, speedup, err := measureStorageDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.StorageResults = sr
+	report.RestoreSnapshotSpeedup = speedup
 	return report, nil
 }
 

@@ -79,6 +79,23 @@ type Stats struct {
 	// append path. Filled by Chain.PipelineStats; zero for a bare
 	// Batcher, which does not own a compactor.
 	Compaction compact.Stats
+	// Index is the chain's entry-index map occupancy gauge. Filled by
+	// Chain.PipelineStats; zero for a bare Batcher.
+	Index IndexStats
+}
+
+// IndexStats describe the chain's entry-index map: Go maps never
+// release buckets, so after a large cut Live can be a small fraction of
+// the capacity Peak implies — the compactor then rebuilds the map
+// (Rebuilds counts those shrinks).
+type IndexStats struct {
+	// Live is the number of entries currently indexed.
+	Live int
+	// Peak is the high-water entry count since the last rebuild — a
+	// proxy for the bucket capacity the map is holding on to.
+	Peak int
+	// Rebuilds counts shrink rebuilds performed by the compactor.
+	Rebuilds uint64
 }
 
 // Batcher coalesces concurrently submitted entries into blocks. All
@@ -324,7 +341,7 @@ func (b *Batcher) flush(batch []group) {
 			entries = append(entries, g.entries...)
 			tickets = append(tickets, g.tickets...)
 		}
-		blocks, err := b.ledger.Seal(entries)
+		blocks, outcomes, err := b.ledger.Seal(entries)
 		if len(blocks) > 0 {
 			// The normal block holding the batch was appended — the
 			// entries are on-chain even if err reports a later failure
@@ -334,10 +351,15 @@ func (b *Batcher) flush(batch []group) {
 			sealed := blocks[0]
 			num, hash := sealed.Header.Number, sealed.Hash()
 			for i, t := range tickets {
+				mark := MarkNone
+				if i < len(outcomes) {
+					mark = outcomes[i]
+				}
 				t.resolve(Sealed{
 					Ref:       block.Ref{Block: num, Entry: uint32(i)},
 					Block:     num,
 					BlockHash: hash,
+					Mark:      mark,
 				})
 			}
 			b.batches.Add(1)

@@ -38,8 +38,10 @@ var ErrClosed = errors.New("mempool: pipeline closed")
 // sealing primitive.
 type Ledger interface {
 	// Seal builds, seals, and appends one normal block holding entries
-	// (plus any due summary block), returning the appended blocks.
-	Seal(entries []*block.Entry) ([]*block.Block, error)
+	// (plus any due summary block), returning the appended blocks and,
+	// aligned with entries, the mark outcome of each deletion request
+	// processed during the append (nil when the batch held none).
+	Seal(entries []*block.Entry) ([]*block.Block, []MarkOutcome, error)
 	// ValidateEntries checks candidate entries against the live chain
 	// state without building a block.
 	ValidateEntries(entries []*block.Entry) error

@@ -38,25 +38,25 @@ func (f *fakeLedger) validate(e *block.Entry) error {
 	return nil
 }
 
-func (f *fakeLedger) Seal(entries []*block.Entry) ([]*block.Block, error) {
+func (f *fakeLedger) Seal(entries []*block.Entry) ([]*block.Block, []MarkOutcome, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sealErr != nil {
-		return nil, f.sealErr
+		return nil, nil, f.sealErr
 	}
 	if f.failCommits > 0 {
 		f.failCommits--
-		return nil, errHeadMoved
+		return nil, nil, errHeadMoved
 	}
 	for _, e := range entries {
 		if err := f.validate(e); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	f.next++
 	f.batches = append(f.batches, append([]*block.Entry(nil), entries...))
 	b := block.NewNormal(f.next, f.next, block.GenesisPrevHash, entries)
-	return []*block.Block{b}, f.partialErr
+	return []*block.Block{b}, nil, f.partialErr
 }
 
 func (f *fakeLedger) ValidateEntries(entries []*block.Entry) error {

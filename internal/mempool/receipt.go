@@ -12,6 +12,36 @@ import (
 // to any submission.
 var errNoTicket = errors.New("mempool: receipt not issued by Submit")
 
+// MarkOutcome reports what a sealed deletion request achieved. The
+// paper tolerates invalid requests on-chain ("wrong requests … have no
+// further effects", §V), so inclusion alone says nothing — the outcome
+// rides on the receipt, sparing clients an IsMarked poll after sealing.
+type MarkOutcome uint8
+
+const (
+	// MarkNone: the entry was not a deletion request.
+	MarkNone MarkOutcome = iota
+	// MarkApproved: the request passed authorization and its target now
+	// carries a deletion mark (physical deletion follows at the next
+	// marker shift).
+	MarkApproved
+	// MarkRejected: the request was included but had no effect — the
+	// target is unknown, authorization failed, or cohesion vetoed it.
+	MarkRejected
+)
+
+// String returns "none", "approved", or "rejected".
+func (m MarkOutcome) String() string {
+	switch m {
+	case MarkApproved:
+		return "approved"
+	case MarkRejected:
+		return "rejected"
+	default:
+		return "none"
+	}
+}
+
 // Sealed is the resolution of a successful submission: where the entry
 // ended up once its block was sealed and appended.
 type Sealed struct {
@@ -22,6 +52,9 @@ type Sealed struct {
 	Block uint64
 	// BlockHash is the hash of that block.
 	BlockHash codec.Hash
+	// Mark is the deletion-request outcome: MarkApproved or MarkRejected
+	// for deletion entries, MarkNone otherwise.
+	Mark MarkOutcome
 }
 
 // Receipt tracks one submitted entry through the pipeline. It resolves

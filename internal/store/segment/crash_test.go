@@ -1,0 +1,455 @@
+package segment
+
+// Crash-recovery tests: each test produces a durable store state, then
+// corrupts the directory the way a crash at a specific point would
+// (torn record tail mid-append, stale segments mid-truncate, manifest
+// out of step with the segment files) and asserts that Open recovers
+// to the last durable block — never resurrecting cut blocks and never
+// serving a partially written record.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+	"github.com/seldel/seldel/internal/store"
+)
+
+// lastSegmentPath returns the path of the highest-numbered segment file.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no segment files on disk")
+	}
+	return filepath.Join(dir, last)
+}
+
+// liveNumbers streams the store and returns the block numbers served.
+func liveNumbers(t *testing.T, s *Store) []uint64 {
+	t.Helper()
+	var nums []uint64
+	for b, err := range s.Stream() {
+		if err != nil {
+			t.Fatalf("Stream: %v", err)
+		}
+		nums = append(nums, b.Header.Number)
+	}
+	return nums
+}
+
+func TestRecoverTornRecordTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	fill(t, s, 8)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: a record header promising more payload than was
+	// ever written lands at the tail of the active segment.
+	path := lastSegmentPath(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, recHeaderSize+10)
+	torn[8] = 200 // length field promises 200 payload bytes; only 10 follow
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	nums := liveNumbers(t, s2)
+	if len(nums) != 8 || nums[len(nums)-1] != 7 {
+		t.Fatalf("recovered %v, want blocks 0..7", nums)
+	}
+	// The torn tail must be physically gone so the next append lands on
+	// a clean boundary.
+	b := testBlock(t, 8, nil)
+	b8 := block.NewNormal(8, b.Header.Time, b.Header.PrevHash, b.Entries)
+	if err := s2.PutBlock(b8); err != nil {
+		t.Fatalf("PutBlock after torn-tail recovery: %v", err)
+	}
+	if _, err := s2.GetBlock(8); err != nil {
+		t.Fatalf("GetBlock(8): %v", err)
+	}
+}
+
+func TestRecoverCorruptPayloadChecksum(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	fill(t, s, 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the LAST record's payload: the checksum mismatch
+	// must cut the recovered segment back to the previous record.
+	path := lastSegmentPath(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	nums := liveNumbers(t, s2)
+	if len(nums) != 4 || nums[len(nums)-1] != 3 {
+		t.Fatalf("recovered %v, want blocks 0..3 (corrupt block 4 dropped)", nums)
+	}
+}
+
+// TestRecoverInterruptedTruncation simulates a crash after the
+// truncation's durable point (snapshot + manifest carry the new marker)
+// but before the file surgery: the retired segment files are still on
+// disk. Open must complete the deletion instead of resurrecting the cut
+// blocks.
+func TestRecoverInterruptedTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512})
+	fill(t, s, 24)
+	// Keep a pre-truncation copy of every segment file.
+	preFiles := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			preFiles[e.Name()] = raw
+		}
+	}
+	if err := s.DeleteBelow(15); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// "Un-delete" the segment files: manifest and snapshot stay at
+	// marker 15, but the directory looks like the unlinks never hit
+	// the disk.
+	for name, raw := range preFiles {
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, Options{SegmentBytes: 512})
+	defer s2.Close()
+	if m, err := s2.Marker(); err != nil || m != 15 {
+		t.Fatalf("recovered marker = %d, %v; want 15", m, err)
+	}
+	nums := liveNumbers(t, s2)
+	if len(nums) == 0 || nums[0] != 15 || nums[len(nums)-1] != 23 {
+		t.Fatalf("recovered %v, want 15..23 (cut blocks must not resurrect)", nums)
+	}
+	// The stale segments must be physically gone again.
+	for name := range preFiles {
+		id, _ := parseSegmentName(name)
+		if _, statErr := os.Stat(filepath.Join(dir, name)); statErr == nil {
+			// Still on disk: acceptable only if it holds live blocks.
+			found := false
+			s2.mu.Lock()
+			for _, seg := range s2.segs {
+				if seg.id == id {
+					found = true
+				}
+			}
+			s2.mu.Unlock()
+			if !found {
+				t.Errorf("stale segment %s survived recovery", name)
+			}
+		}
+	}
+}
+
+// TestRecoverManifestMissing loses the MANIFEST entirely: the snapshot
+// checkpoint is the fallback marker record, so cut blocks still must
+// not resurrect.
+func TestRecoverManifestMissing(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512})
+	fill(t, s, 20)
+	if err := s.DeleteBelow(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{SegmentBytes: 512})
+	defer s2.Close()
+	if m, err := s2.Marker(); err != nil || m != 12 {
+		t.Fatalf("marker after manifest loss = %d, %v; want 12 (from snapshot)", m, err)
+	}
+	nums := liveNumbers(t, s2)
+	if nums[0] != 12 || nums[len(nums)-1] != 19 {
+		t.Fatalf("recovered %v, want 12..19", nums)
+	}
+}
+
+// TestCorruptSnapshotFailsLoudly: a bit-rotted SNAPSHOT is a durable
+// marker record that can no longer be trusted — Open must fail instead
+// of silently falling back to a marker that may resurrect cut blocks.
+func TestCorruptSnapshotFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512})
+	fill(t, s, 20)
+	if err := s.DeleteBelow(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapshotName)
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: the manifest is gone too, so the snapshot would have
+	// been the only marker record.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 512}); err == nil {
+		t.Fatal("Open succeeded on a corrupt snapshot")
+	}
+}
+
+// TestRecoverAdoptsUnlistedSegment: a segment file created right before
+// a crash (roll happened, manifest write did not) is adopted on Open.
+func TestRecoverAdoptsUnlistedSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512})
+	fill(t, s, 10)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest without its last segment line — as if the
+	// roll's manifest update never became durable.
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	segLines := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "segment ") {
+			segLines++
+		}
+	}
+	if segLines < 2 {
+		t.Fatalf("need >=2 segments for this test, got %d", segLines)
+	}
+	trimmed := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(trimmed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{SegmentBytes: 512})
+	defer s2.Close()
+	nums := liveNumbers(t, s2)
+	if len(nums) != 10 || nums[len(nums)-1] != 9 {
+		t.Fatalf("recovered %v, want 0..9 (unlisted segment adopted)", nums)
+	}
+}
+
+// TestMissingLiveSegmentFails: a manifest-listed segment holding LIVE
+// blocks that vanished from disk is unrecoverable data loss and must
+// fail Open loudly, not silently serve a gapped chain.
+func TestMissingLiveSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512})
+	fill(t, s, 20)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the FIRST segment (live blocks: marker is 0).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := ""
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok && (firstSeg == "" || e.Name() < firstSeg) {
+			firstSeg = e.Name()
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, firstSeg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 512}); err == nil {
+		t.Fatal("Open succeeded despite a missing live segment")
+	}
+}
+
+// TestRestoreAfterTornTailOnChain drives the full stack: a chain
+// mirrored into a segment store crashes mid-append (torn tail), and the
+// reopened chain restores exactly the durable prefix.
+func TestRestoreAfterTornTailOnChain(t *testing.T) {
+	dir := t.TempDir()
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("writer", "crash-chain")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chain.Config{
+		SequenceLength: 3,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+	}
+	s := open(t, dir, Options{})
+	c, err := chain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Attach(c, s); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 7; i++ {
+		e := block.NewData("writer", []byte(fmt.Sprintf("e-%d", i))).Sign(kp)
+		if _, err := c.SubmitWait(ctx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headBefore := c.Head().Number
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop bytes off the last record so the final block
+	// fails its checksum.
+	path := lastSegmentPath(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	c2, _, err := store.OpenChain(cfg, s2)
+	if err != nil {
+		t.Fatalf("restore after torn tail: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Head().Number; got != headBefore-1 {
+		t.Errorf("restored head %d, want last durable block %d", got, headBefore-1)
+	}
+	if err := c2.VerifyIntegrity(); err != nil {
+		t.Errorf("restored chain integrity: %v", err)
+	}
+}
+
+// TestMigrateFromFileStore converts a one-file-per-block store.File
+// directory (including its MARKER) into a segment store and verifies
+// the restored chain is identical.
+func TestMigrateFromFileStore(t *testing.T) {
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("writer", "migrate")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chain.Config{
+		SequenceLength: 3,
+		MaxSequences:   2,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+	}
+	fileDir := t.TempDir()
+	fs, err := store.NewFile(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := chain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Attach(c, fs); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		e := block.NewData("writer", []byte(fmt.Sprintf("m-%d", i))).Sign(kp)
+		sealed, err := c.SubmitWait(ctx, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.SubmitWait(ctx, block.NewDeletion("writer", sealed[0].Ref).Sign(kp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CompactWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.Marker() == 0 {
+		t.Fatal("file-store chain never truncated")
+	}
+	headHash := c.HeadHash()
+	marker := c.Marker()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segDir := t.TempDir()
+	dst := open(t, segDir, Options{})
+	if err := Migrate(fs, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dst.Marker(); err != nil || m != marker {
+		t.Fatalf("migrated marker = %d, %v; want %d", m, err, marker)
+	}
+	if _, ok, err := dst.Snapshot(); err != nil || !ok {
+		t.Fatalf("migrated store has no snapshot: ok=%v err=%v", ok, err)
+	}
+	c2, _, err := store.OpenChain(cfg, dst)
+	if err != nil {
+		t.Fatalf("restore from migrated store: %v", err)
+	}
+	defer c2.Close()
+	defer dst.Close()
+	if c2.HeadHash() != headHash {
+		t.Error("migrated chain head hash differs")
+	}
+	if c2.Marker() != marker {
+		t.Errorf("migrated chain marker %d, want %d", c2.Marker(), marker)
+	}
+	if err := c2.VerifyIntegrity(); err != nil {
+		t.Errorf("migrated chain integrity: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package segment
+
+import (
+	"fmt"
+
+	"github.com/seldel/seldel/internal/store"
+)
+
+// Migrate copies the live contents of src into dst: every stored block
+// is re-appended into dst's segments, and if src exposes a persisted
+// Genesis marker (store.File and this package's Store both do), the
+// marker is carried over via DeleteBelow so dst also gains a snapshot
+// checkpoint. dst should be freshly opened and empty; src is not
+// modified, so an operator can verify the segment store before
+// deleting the one-file-per-block directory (see README "Storage").
+func Migrate(src store.Store, dst *Store) error {
+	for b, err := range src.Stream() {
+		if err != nil {
+			return fmt.Errorf("segment: migrate: %w", err)
+		}
+		if err := dst.PutBlock(b); err != nil {
+			return fmt.Errorf("segment: migrate block %d: %w", b.Header.Number, err)
+		}
+	}
+	if m, ok := src.(interface{ Marker() (uint64, error) }); ok {
+		marker, err := m.Marker()
+		if err != nil {
+			return fmt.Errorf("segment: migrate marker: %w", err)
+		}
+		if marker > 0 {
+			if err := dst.DeleteBelow(marker); err != nil {
+				return fmt.Errorf("segment: migrate marker: %w", err)
+			}
+		}
+	}
+	return dst.Sync()
+}

@@ -1,0 +1,122 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/store"
+)
+
+// snapshotName is the checkpoint file inside a store directory.
+const snapshotName = "SNAPSHOT"
+
+// snapMagic heads every snapshot file.
+const snapMagic = "SELSNAP1"
+
+// Snapshot is the checkpoint written at every Genesis-marker shift: the
+// restore seed that lets a reopened chain start at the marker instead
+// of replaying history from scratch. Checkpoint is the marker block —
+// "a trusted anchor for the left blockchain part already approved by
+// the anchor nodes" (§IV-C); the carried-entry ledger re-seeds from the
+// summary blocks Σ inside the replayed suffix, whose carried entries
+// preserve every surviving pre-marker entry. Head records how far the
+// chain reached when the checkpoint was taken, so operators can tell
+// how much suffix a restore will replay.
+type Snapshot struct {
+	// Marker is the Genesis marker at checkpoint time.
+	Marker uint64
+	// Head is the highest stored block number at checkpoint time.
+	Head uint64
+	// Checkpoint is the block at Marker — the first live block after
+	// the retention merge.
+	Checkpoint *block.Block
+}
+
+// writeSnapshotLocked persists the checkpoint for the current marker.
+// Callers have already advanced s.marker; the checkpoint block is read
+// from the store itself (the recorder mirrors appends before the
+// compactor prunes, so the marker block is always present). A marker
+// shift to a block the store never saw — possible only for a store
+// attached mid-life — skips the snapshot rather than failing the
+// truncation.
+func (s *Store) writeSnapshotLocked() error {
+	loc, ok := s.index[s.marker]
+	if !ok {
+		return nil
+	}
+	payload := make([]byte, loc.n)
+	if _, err := loc.seg.f.ReadAt(payload, loc.off); err != nil {
+		return fmt.Errorf("segment: snapshot: read checkpoint block %d: %w", s.marker, err)
+	}
+	head := s.marker
+	for num := range s.index {
+		if num > head {
+			head = num
+		}
+	}
+	buf := make([]byte, 0, len(snapMagic)+8+8+4+len(payload)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.marker)
+	buf = binary.LittleEndian.AppendUint64(buf, head)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return writeFileAtomic(filepath.Join(s.dir, snapshotName), buf)
+}
+
+// Snapshot returns the last written checkpoint. ok is false when the
+// store has never truncated (no checkpoint exists yet); a corrupt
+// checkpoint file is an error — the store itself remains usable, but
+// the caller should not trust the checkpoint.
+func (s *Store) Snapshot() (Snapshot, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, false, store.ErrClosed
+	}
+	snap, err := readSnapshot(s.dir)
+	if err != nil {
+		if err == errNoCheckpoint {
+			return Snapshot{}, false, nil
+		}
+		return Snapshot{}, false, err
+	}
+	return snap, true, nil
+}
+
+// readSnapshot loads and validates the SNAPSHOT file.
+func readSnapshot(dir string) (Snapshot, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Snapshot{}, errNoCheckpoint
+		}
+		return Snapshot{}, fmt.Errorf("segment: read snapshot: %w", err)
+	}
+	const fixed = len(snapMagic) + 8 + 8 + 4
+	if len(raw) < fixed+4 || string(raw[:len(snapMagic)]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("segment: snapshot: malformed header")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return Snapshot{}, fmt.Errorf("segment: snapshot: checksum mismatch")
+	}
+	marker := binary.LittleEndian.Uint64(raw[len(snapMagic) : len(snapMagic)+8])
+	head := binary.LittleEndian.Uint64(raw[len(snapMagic)+8 : len(snapMagic)+16])
+	n := binary.LittleEndian.Uint32(raw[len(snapMagic)+16 : fixed])
+	if int(n) != len(body)-fixed {
+		return Snapshot{}, fmt.Errorf("segment: snapshot: length mismatch")
+	}
+	cp, err := block.DecodeBlock(body[fixed:])
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("segment: snapshot: decode checkpoint: %w", err)
+	}
+	if cp.Header.Number != marker {
+		return Snapshot{}, fmt.Errorf("segment: snapshot: checkpoint block %d does not match marker %d", cp.Header.Number, marker)
+	}
+	return Snapshot{Marker: marker, Head: head, Checkpoint: cp}, nil
+}

@@ -145,6 +145,13 @@ func (m *Mem) LoadAll() ([]*block.Block, error) {
 	return decodeAll(nums, raws)
 }
 
+// DecodeAll decodes raw blocks in parallel, preserving order. The
+// first failure (by position) is reported. Store implementations in
+// subpackages (the segment store) share it for their LoadAll fan-out.
+func DecodeAll(nums []uint64, raws [][]byte) ([]*block.Block, error) {
+	return decodeAll(nums, raws)
+}
+
 // decodeAll decodes raw blocks in parallel, preserving order. The first
 // failure (by position) is reported.
 func decodeAll(nums []uint64, raws [][]byte) ([]*block.Block, error) {

@@ -15,7 +15,6 @@ import (
 	"github.com/seldel/seldel/internal/simclock"
 )
 
-
 // sealOne drives one entry through the chain's submission pipeline and
 // returns the appended blocks (normal plus any due summary), waiting
 // for pending compaction so store assertions are deterministic.

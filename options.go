@@ -2,11 +2,13 @@ package seldel
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/store"
+	"github.com/seldel/seldel/internal/store/segment"
 	"github.com/seldel/seldel/internal/verify"
 )
 
@@ -20,6 +22,19 @@ type builder struct {
 	engine    Engine
 	store     Store
 	listeners []Listener
+	// owned are resources opened by an option itself (WithSegmentStore)
+	// rather than passed in by the caller: the new chain adopts them
+	// (closed by Chain.Close), and New closes them on a construction
+	// failure so no handle leaks.
+	owned []io.Closer
+}
+
+// closeOwned releases option-opened resources after a failed build.
+func (b *builder) closeOwned() {
+	for _, r := range b.owned {
+		r.Close()
+	}
+	b.owned = nil
 }
 
 // New creates a selective-deletion chain for the given identity registry,
@@ -45,6 +60,7 @@ func New(reg *Registry, opts ...Option) (*Chain, error) {
 	b := &builder{cfg: Config{SequenceLength: 3, Registry: reg}}
 	for _, opt := range opts {
 		if err := opt(b); err != nil {
+			b.closeOwned()
 			return nil, err
 		}
 	}
@@ -53,10 +69,14 @@ func New(reg *Registry, opts ...Option) (*Chain, error) {
 	}
 	c, err := b.open()
 	if err != nil {
+		b.closeOwned()
 		return nil, err
 	}
 	for _, l := range b.listeners {
 		c.AddListener(l)
+	}
+	for _, r := range b.owned {
+		c.Own(r)
 	}
 	return c, nil
 }
@@ -196,6 +216,38 @@ func WithStore(s Store) Option {
 			return fmt.Errorf("%w: nil store", ErrConfig)
 		}
 		b.store = s
+		return nil
+	}
+}
+
+// WithSegmentStore persists the chain into a segment store rooted at
+// dir, opening (or creating) it with the given options (pass none for
+// the defaults: 1 MiB segments, fsync on roll/truncate/close). Like
+// WithStore, a populated store restores the chain — starting at the
+// snapshot checkpoint's Genesis marker, so only the live suffix is
+// replayed — and an empty one is mirrored from genesis. Because the
+// option opens the store itself, the chain owns it: Chain.Close syncs
+// and closes it after the final compaction. Callers needing the handle
+// (SizeBytes, Snapshot) should open it with NewSegmentStore and pass
+// WithStore instead — then the handle, and its Close, stay theirs.
+func WithSegmentStore(dir string, opts ...SegmentOptions) Option {
+	return func(b *builder) error {
+		if dir == "" {
+			return fmt.Errorf("%w: empty segment store dir", ErrConfig)
+		}
+		if len(opts) > 1 {
+			return fmt.Errorf("%w: at most one SegmentOptions", ErrConfig)
+		}
+		var o SegmentOptions
+		if len(opts) == 1 {
+			o = opts[0]
+		}
+		s, err := segment.Open(dir, o)
+		if err != nil {
+			return err
+		}
+		b.store = s
+		b.owned = append(b.owned, s)
 		return nil
 	}
 }

@@ -74,6 +74,7 @@ import (
 	"github.com/seldel/seldel/internal/schema"
 	"github.com/seldel/seldel/internal/simclock"
 	"github.com/seldel/seldel/internal/store"
+	"github.com/seldel/seldel/internal/store/segment"
 	"github.com/seldel/seldel/internal/verify"
 )
 
@@ -195,6 +196,17 @@ type (
 	MemStore = store.Mem
 	// FileStore is the file-backed store (one file per block).
 	FileStore = store.File
+	// SegmentStore is the segmented store: blocks append into bounded,
+	// length-prefixed segment files; truncation physically retires
+	// whole segments; a snapshot checkpoint makes restores start at the
+	// Genesis marker. See README "Storage".
+	SegmentStore = segment.Store
+	// SegmentOptions parameterize a SegmentStore (segment size, fsync
+	// policy).
+	SegmentOptions = segment.Options
+	// StoreSnapshot is a segment store's checkpoint: the Genesis marker,
+	// the head at checkpoint time, and the marker block itself.
+	StoreSnapshot = segment.Snapshot
 )
 
 // Audit use-case types (the paper's evaluation scenario).
@@ -313,6 +325,20 @@ func NewMemStore() *MemStore { return store.NewMem() }
 
 // NewFileStore opens a file-backed block store rooted at dir.
 func NewFileStore(dir string) (*FileStore, error) { return store.NewFile(dir) }
+
+// NewSegmentStore opens (or creates) a segmented block store rooted at
+// dir, recovering torn tails and interrupted truncations from a crash.
+// The zero Options selects 1 MiB segments synced on roll/truncate/close.
+func NewSegmentStore(dir string, opts SegmentOptions) (*SegmentStore, error) {
+	return segment.Open(dir, opts)
+}
+
+// MigrateStore copies the live blocks (and the persisted Genesis
+// marker, when src exposes one) of an existing store into a freshly
+// opened segment store — the upgrade path from a FileStore directory.
+// src is left untouched so the migration can be verified before the old
+// directory is deleted.
+func MigrateStore(src Store, dst *SegmentStore) error { return segment.Migrate(src, dst) }
 
 // AttachStore mirrors all chain mutations into s (and backfills the
 // current live blocks). New code can pass WithStore to New instead.
