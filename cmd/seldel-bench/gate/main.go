@@ -5,12 +5,13 @@
 //
 // Only rate metrics are compared (ops/sec, blocks/sec), so the smoke
 // run may use a smaller -json-entries than the baseline. Guarded
-// metrics: submission throughput at 16 producers, and segment-store
-// restore-from-snapshot throughput.
+// metrics: submission throughput at 16 producers, segment-store
+// restore-from-snapshot throughput, and cluster-replicated block
+// throughput at 3 nodes.
 //
 // Usage:
 //
-//	gate -baseline BENCH_PR4.json -candidate bench-smoke.json -max-regress 0.30
+//	gate -baseline BENCH_PR5.json -candidate bench-smoke.json -max-regress 0.30
 package main
 
 import (
@@ -119,6 +120,17 @@ var metrics = []metric{
 		extract: func(r *experiments.PipelineReport) (float64, bool) {
 			for _, res := range r.StorageResults {
 				if res.Op == "restore" && res.Store == "segment" && res.Detail == "snapshot" {
+					return res.BlocksPerSec, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
+		name: "cluster@3 replicated blocks/sec",
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.ClusterResults {
+				if res.Nodes == 3 {
 					return res.BlocksPerSec, true
 				}
 			}

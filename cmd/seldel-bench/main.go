@@ -72,6 +72,10 @@ func run(args []string) error {
 			}
 		}
 		fmt.Printf("restore snapshot vs genesis: %.2fx\n", report.RestoreSnapshotSpeedup)
+		for _, r := range report.ClusterResults {
+			fmt.Printf("cluster nodes=%-3d rounds=%-4d blocks=%-5d %10.0f blocks/sec  deletion converged in %d rounds / %.1fms\n",
+				r.Nodes, r.Rounds, r.Blocks, r.BlocksPerSec, r.DeletionRounds, r.DeletionConvergeMillis)
+		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}

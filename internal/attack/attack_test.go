@@ -170,3 +170,29 @@ func TestQuickMonotoneInPower(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestByzantineBehaviorContract(t *testing.T) {
+	if !Honest.Valid() || !VoteWithholding.Valid() {
+		t.Error("defined behaviours must be valid")
+	}
+	if Behavior(99).Valid() {
+		t.Error("undefined behaviour accepted")
+	}
+	if Honest.String() != "honest" || VoteWithholding.String() != "vote-withholding" {
+		t.Errorf("String() = %q / %q", Honest, VoteWithholding)
+	}
+	if got := Behavior(99).String(); got != "unknown" {
+		t.Errorf("undefined String() = %q", got)
+	}
+}
+
+func TestWithholdingTolerance(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {7, 3}, {15, 7},
+	}
+	for _, c := range cases {
+		if got := WithholdingTolerance(c.n); got != c.want {
+			t.Errorf("WithholdingTolerance(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

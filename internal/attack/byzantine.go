@@ -1,0 +1,51 @@
+package attack
+
+// This file models Byzantine member behaviours for the anchor-node
+// quorum (§IV-C): faults that are not mining races but protocol
+// deviations by quorum members themselves. The simulator (internal/node)
+// consumes Behavior to fault-inject a node; the analytic helpers bound
+// what the majority rule tolerates.
+
+// Behavior selects a Byzantine fault model for a simulated anchor node.
+// The zero value is an honest node.
+type Behavior uint8
+
+const (
+	// Honest follows the protocol.
+	Honest Behavior = iota
+	// VoteWithholding is the silent Byzantine member: it computes
+	// summary blocks locally (it must know the correct hash to follow
+	// the quorum's decision) but never announces its vote and never
+	// answers another member's announcement. Liveness survives while
+	// the honest members alone still reach the majority threshold —
+	// see WithholdingTolerance.
+	VoteWithholding
+)
+
+// Valid reports whether b is a defined behaviour.
+func (b Behavior) Valid() bool { return b <= VoteWithholding }
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case VoteWithholding:
+		return "vote-withholding"
+	default:
+		return "unknown"
+	}
+}
+
+// WithholdingTolerance returns how many quorum members may silently
+// withhold their votes before the marker-shift vote loses liveness: a
+// quorum of n needs floor(n/2)+1 identical votes, so n - (floor(n/2)+1)
+// members can go silent and summaries still apply. (One more and the
+// chain freezes at the next summary slot — safety is never violated,
+// the quorum just stops shifting the marker.)
+func WithholdingTolerance(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n - (n/2 + 1)
+}

@@ -590,6 +590,16 @@ func (c *Chain) AppendBlock(b *block.Block) error {
 	return err
 }
 
+// AppendBlockOutcomes is AppendBlock surfacing the deletion-mark
+// outcomes of the appended block's entries (aligned with b.Entries).
+// Distributed proposers (internal/node) seal blocks through their own
+// engine rather than the chain's submission pipeline; this hook lets
+// them resolve mark outcomes onto their receipts exactly like the
+// local pipeline does.
+func (c *Chain) AppendBlockOutcomes(b *block.Block) ([]mempool.MarkOutcome, error) {
+	return c.appendBlock(b)
+}
+
 // appendBlock is AppendBlock surfacing the deletion-mark outcomes of
 // the appended block's entries, for the submission pipeline's receipts.
 func (c *Chain) appendBlock(b *block.Block) ([]mempool.MarkOutcome, error) {

@@ -1,13 +1,3 @@
-// Package consensus provides pluggable block-sealing engines and the
-// quorum-voting primitive used by anchor nodes.
-//
-// The paper's concept is explicitly "independent of the specific
-// consensus algorithm" (§IV-A): the summary-block behaviour is an
-// extension of whatever consensus is in place. This package demonstrates
-// that independence with three interchangeable engines — proof-of-work,
-// proof-of-authority, and a no-op engine for pure simulations — all
-// driven through the identical chain extension. Summary blocks are never
-// sealed by any engine: every node computes them locally (§IV-B).
 package consensus
 
 import (

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/netsim"
+	"github.com/seldel/seldel/internal/node"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// This file is the cluster dimension of `seldel-bench -json` (PR 5):
+// the same replicated write workload driven through 3-, 7-, and 15-node
+// anchor deployments on the in-memory network. Two rates are reported
+// per width: replicated blocks per second (proposal + gossip + quorum
+// summary votes, measured to full network quiescence every round) and
+// the deletion-convergence latency — the wall-clock time from
+// submitting a deletion request until the target entry is physically
+// unresolvable on EVERY node, which exercises the entire distributed
+// lifecycle: request gossip, co-signature precheck, mark adoption,
+// summary vote, marker shift, and physical truncation on each replica.
+
+// ClusterResult is one measured cluster configuration.
+type ClusterResult struct {
+	// Nodes is the anchor-node count (quorum width).
+	Nodes int `json:"nodes"`
+	// Rounds is the number of proposal rounds driven for the
+	// throughput phase.
+	Rounds int `json:"rounds"`
+	// Blocks is the number of blocks the cluster replicated during the
+	// throughput phase (normal + voted summary blocks).
+	Blocks uint64 `json:"blocks"`
+	// Seconds is the throughput phase wall-clock time.
+	Seconds float64 `json:"seconds"`
+	// BlocksPerSec is Blocks / Seconds: cluster-replicated blocks per
+	// second, every round driven to quiescence on every node.
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	// DeletionRounds is how many proposal rounds the deletion needed to
+	// converge (mark → summary vote → marker shift → physical cut).
+	DeletionRounds int `json:"deletion_rounds"`
+	// DeletionConvergeMillis is the wall-clock time from submitting the
+	// deletion request to the entry being physically unresolvable on
+	// every node.
+	DeletionConvergeMillis float64 `json:"deletion_converge_millis"`
+}
+
+// clusterSizes are the measured deployment widths.
+var clusterSizes = []int{3, 7, 15}
+
+// deletionConvergeCap bounds the convergence drive; a healthy cluster
+// with SequenceLength 3 and MaxSequences 2 converges in well under ten
+// rounds.
+const deletionConvergeCap = 60
+
+// measureClusterDimension runs the cluster workload at each width.
+// n is the -json-entries budget; rounds derive from it so the smoke
+// run stays fast.
+func measureClusterDimension(n int) ([]ClusterResult, error) {
+	rounds := n / 25
+	if rounds < 12 {
+		rounds = 12
+	}
+	if rounds > 200 {
+		rounds = 200
+	}
+	out := make([]ClusterResult, 0, len(clusterSizes))
+	for _, size := range clusterSizes {
+		r, err := measureCluster(size, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("cluster dimension (nodes=%d): %w", size, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// benchCluster is one assembled deployment.
+type benchCluster struct {
+	net   *netsim.Network
+	nodes []*node.Node
+	user  *identity.KeyPair
+}
+
+func (bc *benchCluster) close() {
+	for _, nd := range bc.nodes {
+		nd.Close()
+	}
+	bc.net.Close()
+}
+
+// drive submits one signed entry through node 0 and proposes, retrying
+// while the summary vote settles, then waits for quiescence. It
+// returns the sealed normal block holding the entry.
+func (bc *benchCluster) drive(payload []byte) (*block.Block, error) {
+	bc.nodes[0].SubmitLocal(block.NewData("user", payload).Sign(bc.user))
+	bc.net.Flush()
+	for attempt := 0; ; attempt++ {
+		b, err := bc.nodes[0].Propose()
+		bc.net.Flush()
+		if err == nil {
+			return b, nil
+		}
+		if !errors.Is(err, node.ErrSummaryPending) {
+			return nil, err
+		}
+		if attempt > 200 {
+			return nil, fmt.Errorf("summary vote never completed")
+		}
+	}
+}
+
+func newBenchCluster(size int) (*benchCluster, error) {
+	bc := &benchCluster{net: netsim.New(netsim.Config{})}
+	registry := identity.NewRegistry()
+	names := make([]string, size)
+	for i := range names {
+		names[i] = fmt.Sprintf("anchor-%d", i)
+	}
+	quorum, err := consensus.NewQuorum(names)
+	if err != nil {
+		bc.net.Close()
+		return nil, err
+	}
+	for _, name := range names {
+		kp := identity.Deterministic(name, "cluster-bench")
+		if err := registry.RegisterKey(kp, identity.RoleMaster); err != nil {
+			bc.close()
+			return nil, err
+		}
+		nd, err := node.New(node.Config{
+			Key: kp,
+			Chain: chain.Config{
+				SequenceLength: 3,
+				MaxSequences:   2,
+				Shrink:         chain.ShrinkAllButNewest,
+				Registry:       registry,
+				Clock:          simclock.NewLogical(0),
+			},
+			Quorum:  quorum,
+			Network: bc.net,
+		})
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.nodes = append(bc.nodes, nd)
+	}
+	bc.user = identity.Deterministic("user", "cluster-bench")
+	if err := registry.RegisterKey(bc.user, identity.RoleUser); err != nil {
+		bc.close()
+		return nil, err
+	}
+	return bc, nil
+}
+
+// resolvableOnAll reports whether every node still resolves ref.
+func resolvableOnAll(bc *benchCluster, ref block.Ref) bool {
+	for _, nd := range bc.nodes {
+		if _, _, ok := nd.Chain().Lookup(ref); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// resolvableOnAny reports whether any node still resolves ref.
+func resolvableOnAny(bc *benchCluster, ref block.Ref) bool {
+	for _, nd := range bc.nodes {
+		if _, _, ok := nd.Chain().Lookup(ref); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// measureCluster drives one deployment: rounds of replicated proposals
+// for the throughput rate, then one deletion to full physical
+// convergence.
+func measureCluster(size, rounds int) (ClusterResult, error) {
+	bc, err := newBenchCluster(size)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	defer bc.close()
+
+	// Warm-up round; also the deletion target, so the convergence phase
+	// deletes an entry that by then lives in a summary block.
+	vb, err := bc.drive([]byte("victim"))
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	victim := block.Ref{Block: vb.Header.Number, Entry: 0}
+
+	headBefore := bc.nodes[0].Chain().Head().Number
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := bc.drive([]byte(fmt.Sprintf("load-%06d", i))); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	blocks := bc.nodes[0].Chain().Head().Number - headBefore
+	// The throughput phase must have replicated everywhere, or the rate
+	// is fiction.
+	headHash := bc.nodes[0].Chain().HeadHash()
+	for _, nd := range bc.nodes[1:] {
+		if nd.Chain().HeadHash() != headHash {
+			return ClusterResult{}, fmt.Errorf("cluster diverged during throughput phase at %s", nd.Name())
+		}
+	}
+
+	gone := func() bool { return !resolvableOnAny(bc, victim) }
+	if !resolvableOnAll(bc, victim) {
+		return ClusterResult{}, fmt.Errorf("victim %v not carried to every node before deletion", victim)
+	}
+	delStart := time.Now()
+	bc.nodes[0].SubmitLocal(block.NewDeletion("user", victim).Sign(bc.user))
+	bc.net.Flush()
+	delRounds := 0
+	for ; !gone() && delRounds < deletionConvergeCap; delRounds++ {
+		if _, err := bc.drive([]byte(fmt.Sprintf("fill-%06d", delRounds))); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+	if !gone() {
+		return ClusterResult{}, fmt.Errorf("deletion did not converge within %d rounds", deletionConvergeCap)
+	}
+	converge := time.Since(delStart)
+
+	return ClusterResult{
+		Nodes:                  size,
+		Rounds:                 rounds,
+		Blocks:                 blocks,
+		Seconds:                elapsed,
+		BlocksPerSec:           float64(blocks) / elapsed,
+		DeletionRounds:         delRounds,
+		DeletionConvergeMillis: float64(converge.Microseconds()) / 1000.0,
+	}, nil
+}

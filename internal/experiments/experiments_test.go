@@ -276,6 +276,23 @@ func TestPipelineBenchStructure(t *testing.T) {
 			t.Errorf("deletion result %d forgot nothing: %+v", i, r)
 		}
 	}
+	// The cluster dimension must cover 3/7/15 nodes, replicate at a
+	// positive rate, and drive its deletion to physical convergence.
+	if len(report.ClusterResults) != 3 {
+		t.Fatalf("%d cluster results, want 3", len(report.ClusterResults))
+	}
+	wantNodes := []int{3, 7, 15}
+	for i, r := range report.ClusterResults {
+		if r.Nodes != wantNodes[i] {
+			t.Errorf("cluster result %d nodes = %d, want %d", i, r.Nodes, wantNodes[i])
+		}
+		if r.Blocks == 0 || r.BlocksPerSec <= 0 {
+			t.Errorf("cluster result %d implausible: %+v", i, r)
+		}
+		if r.DeletionRounds == 0 || r.DeletionConvergeMillis <= 0 {
+			t.Errorf("cluster result %d deletion never converged: %+v", i, r)
+		}
+	}
 }
 
 func TestPipelineJSONWritten(t *testing.T) {

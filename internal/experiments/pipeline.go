@@ -94,6 +94,10 @@ type PipelineReport struct {
 	// from the snapshot checkpoint vs a full genesis replay, and bytes
 	// physically reclaimed by a truncating deletion run.
 	StorageResults []StorageResult `json:"storage_results"`
+	// ClusterResults is the cluster dimension (PR 5): replicated
+	// blocks/sec and deletion-convergence latency at 3/7/15 anchor
+	// nodes on the in-memory network.
+	ClusterResults []ClusterResult `json:"cluster_results"`
 	// RestoreSnapshotSpeedup is restore-from-genesis seconds over
 	// restore-from-snapshot seconds on the storage workload.
 	RestoreSnapshotSpeedup float64 `json:"restore_snapshot_speedup"`
@@ -356,6 +360,12 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	}
 	report.StorageResults = sr
 	report.RestoreSnapshotSpeedup = speedup
+
+	cr, err := measureClusterDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.ClusterResults = cr
 	return report, nil
 }
 

@@ -62,6 +62,22 @@ func (p *Pool) Take() []*block.Entry {
 	return pending
 }
 
+// Requeue re-inserts entries that were taken but could not be sealed
+// (e.g. the proposal lost to a pending summary vote), so they are not
+// lost to the dedup set: Take handed them out, so they are no longer
+// pending, while seen still lists them and Add would refuse them.
+func (p *Pool) Requeue(entries []*block.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range entries {
+		p.seen[e.Hash()] = true
+		p.pending = append(p.pending, e)
+	}
+}
+
 // Remove drops pending entries that appear in included (by content
 // hash), typically because another node's proposed block carried them.
 func (p *Pool) Remove(included []*block.Entry) {

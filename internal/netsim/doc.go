@@ -1,0 +1,28 @@
+// Package netsim is an in-memory message-passing network substrate and
+// scenario harness for the anchor-node simulations.
+//
+// The paper's prototype used CORBA middleware between Python and Java
+// processes; the concept itself is transport-independent (§IV, §VI).
+// This substrate provides the same facility — unicast and broadcast
+// between named endpoints — plus the failure injection the evaluation
+// discussion needs:
+//
+//   - latency, globally (Config.Latency) and per endpoint
+//     (SetPeerLatency, a lagging node),
+//   - probabilistic message loss (Config.DropRate / SetDropRate),
+//   - network partitions and heals (Partition / Heal, the
+//     eclipse/isolation scenario of §V-B.4),
+//   - endpoint churn (Endpoint.Leave frees the name so a restarted
+//     node can rejoin).
+//
+// Delivery is asynchronous: each endpoint owns a queue drained by a
+// dedicated goroutine, so handlers may send without deadlocking. With
+// zero latency and drop rate the network is deterministic: messages
+// from one sender arrive in send order. Flush blocks until the network
+// is quiescent, so tests never sleep.
+//
+// Scenario (scenario.go) scripts fault sequences on top: each named
+// step runs, the network flushes to quiescence, and the outcome is
+// recorded, so multi-phase failure drills (partition → write → heal →
+// converge) read as a linear script and fail with the step name.
+package netsim

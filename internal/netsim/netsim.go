@@ -1,17 +1,3 @@
-// Package netsim is an in-memory message-passing network substrate for
-// the anchor-node simulations.
-//
-// The paper's prototype used CORBA middleware between Python and Java
-// processes; the concept itself is transport-independent (§IV, §VI). This
-// substrate provides the same facility — unicast and broadcast between
-// named endpoints — plus the failure injection the evaluation discussion
-// needs: latency, probabilistic drops, and network partitions (for the
-// node-isolation discussion of §V-B.4).
-//
-// Delivery is asynchronous: each endpoint owns a queue drained by a
-// dedicated goroutine, so handlers may send without deadlocking. With
-// zero latency and drop rate the network is deterministic: messages from
-// one sender arrive in send order.
 package netsim
 
 import (
@@ -72,6 +58,7 @@ type Network struct {
 	cfg       Config
 	endpoints map[string]*Endpoint
 	groups    map[string]int // partition group per endpoint; same group = reachable
+	lag       map[string]time.Duration
 	rng       *rand.Rand
 	stats     Stats
 	closed    bool
@@ -91,6 +78,7 @@ func New(cfg Config) *Network {
 		cfg:       cfg,
 		endpoints: make(map[string]*Endpoint),
 		groups:    make(map[string]int),
+		lag:       make(map[string]time.Duration),
 		rng:       rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // simulation determinism, not crypto
 	}
 }
@@ -102,6 +90,25 @@ type Endpoint struct {
 	inbox   chan Message
 	handler Handler
 	done    chan struct{}
+	stop    sync.Once
+	// sendMu orders enqueues against shutdown: dead flips to true
+	// strictly before done closes, so any message that entered the
+	// inbox while alive is guaranteed to be consumed by run's final
+	// drain — inFlight can never leak into a reader-less channel.
+	sendMu sync.Mutex
+	dead   bool
+}
+
+// shutdown marks the endpoint dead (no new enqueues) and then releases
+// its delivery goroutine. The ordering is the crux: every producer
+// holds sendMu while enqueueing, so after shutdown acquires it, no
+// message can enter the inbox anymore — whatever is already there is
+// handled by run's drain, and later senders see dead and drop.
+func (ep *Endpoint) shutdown() {
+	ep.sendMu.Lock()
+	ep.dead = true
+	ep.sendMu.Unlock()
+	ep.stop.Do(func() { close(ep.done) })
 }
 
 // Join attaches a named endpoint with the given handler.
@@ -165,6 +172,23 @@ func (ep *Endpoint) Broadcast(kind string, payload []byte) {
 	ep.net.broadcast(ep.name, kind, payload)
 }
 
+// Leave detaches the endpoint from the network: messages already queued
+// are still handled, new messages addressed to the name fail with
+// ErrUnknownTarget, and the name becomes free for a future Join — the
+// node-restart scenario. Leave is idempotent and safe to race with a
+// network Close.
+func (ep *Endpoint) Leave() {
+	n := ep.net
+	n.mu.Lock()
+	if n.endpoints[ep.name] == ep {
+		delete(n.endpoints, ep.name)
+		delete(n.groups, ep.name)
+		delete(n.lag, ep.name)
+	}
+	n.mu.Unlock()
+	ep.shutdown()
+}
+
 func (n *Network) send(from, to, kind string, payload []byte) error {
 	n.mu.Lock()
 	if n.closed {
@@ -189,22 +213,27 @@ func (n *Network) send(from, to, kind string, payload []byte) error {
 		n.mu.Unlock()
 		return nil
 	}
-	latency := n.cfg.Latency
+	// A lagging endpoint is slow on both directions of its link: its
+	// uplink and downlink delays stack on the network-wide latency.
+	latency := n.cfg.Latency + n.lag[from] + n.lag[to]
 	n.mu.Unlock()
 
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
 	n.inFlight.Add(1) // released by the receiver's handler (or on drop)
 	deliver := func() error {
-		select {
-		case target.inbox <- msg:
-			n.mu.Lock()
-			n.stats.Delivered++
-			n.mu.Unlock()
-			return nil
-		case <-target.done:
+		target.sendMu.Lock()
+		defer target.sendMu.Unlock()
+		if target.dead {
 			n.inFlight.Add(-1) // receiver left; treat as drop
 			return nil
 		}
+		// Not dead, so run() is still draining: this send cannot block
+		// forever, and the message is guaranteed to be handled.
+		target.inbox <- msg
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+		return nil
 	}
 	if latency == 0 {
 		return deliver()
@@ -266,6 +295,18 @@ func (n *Network) SetDropRate(r float64) {
 	n.cfg.DropRate = r
 }
 
+// SetPeerLatency adds a delivery delay to every message sent to or from
+// the named endpoint — the lagging-node scenario. Zero removes the lag.
+func (n *Network) SetPeerLatency(name string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.lag, name)
+		return
+	}
+	n.lag[name] = d
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -298,7 +339,7 @@ func (n *Network) Close() {
 	}
 	n.mu.Unlock()
 	for _, ep := range eps {
-		close(ep.done)
+		ep.shutdown()
 	}
 	n.wg.Wait()
 }

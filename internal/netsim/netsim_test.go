@@ -332,3 +332,141 @@ func TestCloseIsIdempotentAndWaits(t *testing.T) {
 	// delivered was handled without panic. (Messages in flight during
 	// shutdown may be dropped; that is acceptable UDP-like behaviour.)
 }
+
+func TestLeaveFreesNameForRejoin(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var first, second collector
+	ep, err := n.Join("node", first.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("node", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	ep.Leave()
+	ep.Leave() // idempotent
+	if err := a.Send("node", "x", nil); !errors.Is(err, ErrUnknownTarget) {
+		t.Errorf("send to departed endpoint = %v, want ErrUnknownTarget", err)
+	}
+	// The name is free again: a restarted node rejoins and receives.
+	if _, err := n.Join("node", second.handle); err != nil {
+		t.Fatalf("rejoin after leave: %v", err)
+	}
+	if err := a.Send("node", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if first.count() != 1 || second.count() != 1 {
+		t.Errorf("delivery counts: first=%d second=%d, want 1/1", first.count(), second.count())
+	}
+}
+
+func TestPeerLatencyLagsOneEndpoint(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var fast, slow collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("fast", fast.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("slow", slow.handle); err != nil {
+		t.Fatal(err)
+	}
+	n.SetPeerLatency("slow", 20*time.Millisecond)
+	start := time.Now()
+	if err := a.Send("fast", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("slow", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("flush returned after %v, lagged delivery should take >= 20ms", elapsed)
+	}
+	if fast.count() != 1 || slow.count() != 1 {
+		t.Errorf("delivery counts: fast=%d slow=%d", fast.count(), slow.count())
+	}
+	// Clearing the lag restores immediate delivery.
+	n.SetPeerLatency("slow", 0)
+	start = time.Now()
+	if err := a.Send("slow", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("cleared lag still delayed delivery by %v", elapsed)
+	}
+}
+
+func TestScenarioRunsStepsAndSkipsAfterFailure(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario(n)
+	_ = sc.Step("send", func() error { return a.Send("b", "x", nil) })
+	// The step flushed: the message is already handled, no Flush needed.
+	_ = sc.Check("delivered", func() error {
+		if got.count() != 1 {
+			return errors.New("not delivered")
+		}
+		return nil
+	})
+	if sc.Err() != nil {
+		t.Fatalf("clean scenario reports error: %v", sc.Err())
+	}
+	boom := errors.New("boom")
+	if err := sc.Step("fails", func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("failing step returned %v", err)
+	}
+	if err := sc.Step("after", func() error { return nil }); !errors.Is(err, boom) {
+		t.Error("step after a failure was not skipped")
+	}
+	hist := sc.History()
+	if len(hist) != 4 || hist[0].Name != "send" || hist[2].Err == nil || hist[3].Err == nil {
+		t.Errorf("history = %+v", hist)
+	}
+	if !errors.Is(sc.Err(), boom) {
+		t.Errorf("scenario error = %v", sc.Err())
+	}
+}
+
+func TestScenarioPartitionHeal(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario(n)
+	_ = sc.Partition("isolate b", []string{"b"})
+	_ = sc.Step("send into partition", func() error { return a.Send("b", "x", nil) })
+	_ = sc.Heal("heal")
+	_ = sc.Step("send after heal", func() error { return a.Send("b", "x", nil) })
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if got.count() != 1 {
+		t.Errorf("delivered %d, want 1 (partitioned send dropped)", got.count())
+	}
+}

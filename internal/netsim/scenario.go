@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// StepResult records one executed scenario step.
+type StepResult struct {
+	// Name identifies the step in failure reports and transcripts.
+	Name string
+	// Err is the step's outcome (nil on success).
+	Err error
+	// Elapsed is the wall-clock duration of the step including the
+	// flush to quiescence.
+	Elapsed time.Duration
+}
+
+// Scenario scripts a fault-injection sequence against a Network. Each
+// step runs its action, then flushes the network to quiescence, so the
+// next step always observes a settled cluster — the property that keeps
+// multi-phase drills (partition → write → heal → converge) deterministic
+// without sleeps. Steps after a failed step are skipped, so a transcript
+// reads like a stack trace: the first Err is the step that broke.
+//
+// Scenario is a sequencing tool, not a synchronization one: it must be
+// driven from a single goroutine (the actions themselves may spawn
+// concurrency freely).
+type Scenario struct {
+	net     *Network
+	history []StepResult
+	failed  error
+}
+
+// NewScenario starts an empty scenario on net.
+func NewScenario(net *Network) *Scenario {
+	return &Scenario{net: net}
+}
+
+// Step runs one named action and flushes the network to quiescence.
+// After a previous step failed, Step records a skip and does nothing.
+// It returns the step's error so callers may also fail fast.
+func (s *Scenario) Step(name string, do func() error) error {
+	if s.failed != nil {
+		s.history = append(s.history, StepResult{
+			Name: name,
+			Err:  fmt.Errorf("netsim: step %q skipped after earlier failure: %w", name, s.failed),
+		})
+		return s.history[len(s.history)-1].Err
+	}
+	start := time.Now()
+	err := do()
+	s.net.Flush()
+	if err != nil {
+		err = fmt.Errorf("netsim: step %q: %w", name, err)
+		s.failed = err
+	}
+	s.history = append(s.history, StepResult{Name: name, Err: err, Elapsed: time.Since(start)})
+	return err
+}
+
+// Partition splits the endpoints into isolated groups as one recorded
+// step (see Network.Partition for the grouping rules).
+func (s *Scenario) Partition(name string, groups ...[]string) error {
+	return s.Step(name, func() error {
+		s.net.Partition(groups...)
+		return nil
+	})
+}
+
+// Heal removes all partitions as one recorded step.
+func (s *Scenario) Heal(name string) error {
+	return s.Step(name, func() error {
+		s.net.Heal()
+		return nil
+	})
+}
+
+// Check runs an assertion step: like Step, but the name conventionally
+// describes the invariant being verified rather than an action.
+func (s *Scenario) Check(name string, verify func() error) error {
+	return s.Step(name, verify)
+}
+
+// Err returns the first step failure, or nil while the scenario is
+// still clean.
+func (s *Scenario) Err() error { return s.failed }
+
+// History returns the executed (and skipped) steps in order.
+func (s *Scenario) History() []StepResult {
+	out := make([]StepResult, len(s.history))
+	copy(out, s.history)
+	return out
+}

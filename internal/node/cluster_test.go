@@ -74,6 +74,7 @@ func newCluster(t *testing.T, n int, users ...string) *cluster {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { nd.Close() })
 		cl.nodes = append(cl.nodes, nd)
 	}
 	return cl
@@ -472,18 +473,24 @@ func TestPartitionHealStatusQuoAdoption(t *testing.T) {
 
 func TestSyncIgnoresNonQuorumSenders(t *testing.T) {
 	// Catch-up data is only accepted from authenticated quorum members;
-	// a registered user cannot feed a node a replacement chain.
+	// a registered user cannot feed a node a replacement chain — not
+	// incrementally, and not via a snapshot-adoption offer.
 	cl := newCluster(t, 2, "alpha")
-	// Spoof: a user-level endpoint sends a sync response with Replace.
 	userKey := cl.keys["alpha"]
 	ep, err := cl.net.Join("outsider", func(netsim.Message) {})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fake := wire.SyncRespPayload{Replace: true, Blocks: [][]byte{cl.nodes[0].Chain().Blocks()[0].Encode()}}
-	payload := wire.SealEnvelope(userKey, wire.KindSyncResp, wire.EncodeSyncResp(fake))
+	genesis := cl.nodes[0].Chain().Blocks()[0].Encode()
 	headBefore := cl.nodes[1].Chain().HeadHash()
-	if err := ep.Send(cl.nodes[1].Name(), wire.KindSyncResp, payload); err != nil {
+	fakeSync := wire.SyncRespPayload{Blocks: [][]byte{genesis}}
+	if err := ep.Send(cl.nodes[1].Name(), wire.KindSyncResp,
+		wire.SealEnvelope(userKey, wire.KindSyncResp, wire.EncodeSyncResp(fakeSync))); err != nil {
+		t.Fatal(err)
+	}
+	fakeSnap := wire.SnapshotPayload{Marker: 0, Head: 0, Blocks: [][]byte{genesis}}
+	if err := ep.Send(cl.nodes[1].Name(), wire.KindSnapshotResp,
+		wire.SealEnvelope(userKey, wire.KindSnapshotResp, wire.EncodeSnapshot(fakeSnap))); err != nil {
 		t.Fatal(err)
 	}
 	cl.net.Flush()

@@ -1,0 +1,35 @@
+// Package node implements anchor nodes: the quorum members that "manage
+// the full copy of the blockchain" (§IV-A), extend their consensus
+// engine with the summary-block behaviour (§IV-B), vote on
+// Genesis-marker shifts (§IV-C), and serve the current status quo to
+// clients so isolated participants can recover (§V-B.4).
+//
+// A node owns a fully configured selective-deletion chain — the
+// parallel verification pool, the asynchronous deletion lifecycle, and
+// (optionally) a persistent store it restores from at startup, snapshot
+// checkpoint first, so a restarted node replays only the live suffix.
+//
+// Writes flow through the same batching pipeline as a single-process
+// chain: Submit coalesces concurrent local producers through a
+// mempool.Batcher whose sealer proposes blocks — build, engine-seal,
+// append, gossip, then kick the summary vote when the next slot is a
+// summary slot. Gossiped entries from peers and clients land in a
+// deduplicating pending pool after a signature screen that also
+// batch-prechecks deletion co-signatures through the verification pool,
+// so proposal-time authorization resolves from the verified-signature
+// cache. Propose drains that pool through the same pipeline — there is
+// exactly one sealing path.
+//
+// Peer synchronization is snapshot-anchored: a node that fell behind
+// within the live window receives the missing suffix (wire.SyncResp),
+// while one that fell behind the quorum's Genesis marker receives the
+// snapshot payload (wire.SnapshotResp) — marker, head, and the live
+// blocks — and adopts it by streaming the blocks through the chain's
+// restore pipeline (chain.RestoreStream), never replaying anything the
+// quorum already deleted.
+//
+// Fault injection for the scenario suite comes from internal/attack
+// (Config.Byzantine): a vote-withholding member computes summaries but
+// stays silent in the quorum vote, probing the liveness bound of the
+// majority rule.
+package node

@@ -1,22 +1,22 @@
-// Package node implements anchor nodes: the quorum members that "manage
-// the full copy of the blockchain" (§IV-A), extend their consensus engine
-// with the summary-block behaviour (§IV-B), vote on Genesis-marker shifts
-// (§IV-C), and serve the current status quo to clients so isolated
-// participants can recover (§V-B.4).
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/seldel/seldel/internal/attack"
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/chain"
 	"github.com/seldel/seldel/internal/codec"
 	"github.com/seldel/seldel/internal/consensus"
+	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
+	"github.com/seldel/seldel/internal/store"
 	"github.com/seldel/seldel/internal/wire"
 )
 
@@ -34,13 +34,36 @@ type Config struct {
 	Quorum *consensus.Quorum
 	// Network connects the node to its peers.
 	Network *netsim.Network
+	// Store, when set, persists the node's chain. A populated store is
+	// restored from at startup — starting at its snapshot checkpoint,
+	// so only the live suffix is replayed — and an empty one is
+	// mirrored from genesis. The store stays the caller's to close
+	// (after Node.Close), like seldel.WithStore.
+	Store store.Store
+	// Byzantine fault-injects the node for the scenario suite; the
+	// zero value is an honest node. See internal/attack.Behavior.
+	Byzantine attack.Behavior
 }
 
-// ErrSummaryPending is returned by Propose while the quorum vote for the
-// due summary block is still incomplete (e.g. votes were lost on a lossy
-// network); the node re-announces its vote and the caller retries once
-// the network settles.
+// ErrSummaryPending is returned while the quorum vote for the due
+// summary block is still incomplete (e.g. votes were lost on a lossy
+// network, or the node sits in a minority partition); the node
+// re-announces its vote and the caller retries once the network
+// settles.
 var ErrSummaryPending = errors.New("node: summary vote pending")
+
+// ErrClosed is returned by writes after Close. It wraps the pipeline's
+// closed sentinel, so applications classify both with one errors.Is
+// against the root façade's ErrClosed.
+var ErrClosed = fmt.Errorf("node: %w", mempool.ErrClosed)
+
+// summaryWait bounds how long a pipeline seal blocks waiting for a due
+// summary vote to complete before reporting ErrSummaryPending. On an
+// in-process network the vote settles in microseconds; the budget only
+// matters under partitions and message loss, where failing fast (and
+// letting the caller retry after re-announce) beats stalling the
+// flusher.
+const summaryWait = 25 * time.Millisecond
 
 // voteState tracks the quorum votes for one pending summary block.
 type voteState struct {
@@ -57,19 +80,34 @@ type Node struct {
 	name     string
 	key      *identity.KeyPair
 	chain    *chain.Chain // guarded by mu for the rare status-quo adoption swap
-	chainCfg chain.Config // engine-wired config, reused by Restore on adoption
+	chainCfg chain.Config // engine-wired config, reused by adoptSnapshot
 	engine   consensus.Engine
 	quorum   *consensus.Quorum
 	ep       *netsim.Endpoint
-	pool     *mempool.Pool // pending entries awaiting the next proposal
-	tallies  map[uint64]*voteState
-	forked   bool
+	store    store.Store
+	pool     *mempool.Pool    // deduplicating pending set fed by gossip
+	prop     *mempool.Batcher // proposal pipeline; its sealer is proposer
+	// sealMu serializes block proposals: the pipeline flusher and the
+	// empty-slot filler path both seal through it, so they never race
+	// each other for the head slot.
+	sealMu    sync.Mutex
+	tallies   map[uint64]*voteState
+	forked    bool
+	byzantine attack.Behavior
+	closed    bool
+	storeErr  error // persistence failure during snapshot adoption
 }
 
-// New creates an anchor node and joins it to the network.
+// New creates an anchor node and joins it to the network. With a
+// populated Config.Store the chain is restored from the store's
+// snapshot checkpoint (the restart path); otherwise a fresh genesis is
+// created.
 func New(cfg Config) (*Node, error) {
 	if cfg.Key == nil {
 		return nil, errors.New("node: missing key")
+	}
+	if !cfg.Byzantine.Valid() {
+		return nil, fmt.Errorf("node: unknown byzantine behaviour %d", cfg.Byzantine)
 	}
 	if cfg.Engine == nil {
 		cfg.Engine = consensus.NoOp{}
@@ -83,28 +121,91 @@ func New(cfg Config) (*Node, error) {
 	}
 	chainCfg := cfg.Chain
 	consensus.Configure(&chainCfg, cfg.Engine)
-	c, err := chain.New(chainCfg)
+	c, err := openChain(chainCfg, cfg.Store)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		name:     cfg.Key.Name(),
-		key:      cfg.Key,
-		chain:    c,
-		chainCfg: chainCfg,
-		engine:   cfg.Engine,
-		quorum:   cfg.Quorum,
-		pool:     mempool.NewPool(),
-		tallies:  make(map[uint64]*voteState),
+		name:      cfg.Key.Name(),
+		key:       cfg.Key,
+		chain:     c,
+		chainCfg:  chainCfg,
+		engine:    cfg.Engine,
+		quorum:    cfg.Quorum,
+		store:     cfg.Store,
+		pool:      mempool.NewPool(),
+		tallies:   make(map[uint64]*voteState),
+		byzantine: cfg.Byzantine,
 	}
+	n.prop = mempool.NewBatcher(proposer{n}, mempool.Options{Warm: n.warmEntries})
 	if cfg.Network != nil {
 		ep, err := cfg.Network.Join(n.name, n.handle)
 		if err != nil {
+			n.prop.Close()
+			c.Close()
 			return nil, err
 		}
 		n.ep = ep
 	}
 	return n, nil
+}
+
+// openChain builds the node's chain: restored from a populated store
+// (which streams from its snapshot checkpoint), mirrored into an empty
+// one, stand-alone without one.
+func openChain(cfg chain.Config, s store.Store) (*chain.Chain, error) {
+	if s == nil {
+		return chain.New(cfg)
+	}
+	_, _, populated, err := s.Range()
+	if err != nil {
+		return nil, fmt.Errorf("node: probing store: %w", err)
+	}
+	if populated {
+		c, _, err := store.OpenChain(cfg, s)
+		return c, err
+	}
+	c, err := chain.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.Attach(c, s); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close detaches the node from the network, drains its proposal
+// pipeline, and closes the chain. The store (if any) stays open for
+// the caller — a restarted node reopens it via Config.Store.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	// Drain the proposal pipeline while still on the network: queued
+	// submissions may land on a due summary slot, and completing that
+	// vote needs the peers' answers to still reach us. Only then leave.
+	err := n.prop.Close()
+	if n.ep != nil {
+		n.ep.Leave()
+	}
+	// Leave stops new deliveries but the endpoint's goroutine may still
+	// be draining queued messages — including a snapshot adoption that
+	// swaps n.chain. sealMu serializes with that adoption (which checks
+	// closed and aborts once we hold it), so exactly one chain survives
+	// to be closed here and none leaks.
+	n.sealMu.Lock()
+	cerr := n.Chain().Close()
+	n.sealMu.Unlock()
+	if err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Name returns the node's identity name.
@@ -126,7 +227,7 @@ func (n *Node) Forked() bool {
 	return n.forked
 }
 
-// MempoolSize returns the number of pending entries.
+// MempoolSize returns the number of pending gossip entries.
 func (n *Node) MempoolSize() int {
 	return n.pool.Len()
 }
@@ -153,6 +254,8 @@ func (n *Node) handle(msg netsim.Message) {
 		n.handleSyncReq(env)
 	case wire.KindSyncResp:
 		n.handleSyncResp(env)
+	case wire.KindSnapshotResp:
+		n.handleSnapshotResp(env)
 	}
 }
 
@@ -164,55 +267,246 @@ func (n *Node) handleEntry(env wire.Envelope) {
 	n.AddToMempool(e)
 }
 
-// AddToMempool queues an entry for inclusion in the next proposed block.
-// Duplicates (by content hash) are ignored by the pending pool. The
-// shape and signature screen runs through the chain's verification pool,
-// so the later proposal-time validation of the same entry resolves from
-// the verified-signature cache.
-func (n *Node) AddToMempool(e *block.Entry) {
+// screenEntry is the gossip intake filter: entry signatures verify
+// through the chain's verification pool, and deletion requests
+// batch-precheck their co-signatures the same way — both warm the
+// verified-signature cache, so the later proposal-time validation of
+// the same entry resolves from cache. A deletion request carrying a
+// cryptographically invalid co-signature is dropped here (it could
+// never create a mark); stateful cohesion failures still go on-chain
+// and are rejected as marks ("wrong requests … have no further
+// effects", §V).
+func (n *Node) screenEntry(e *block.Entry) bool {
 	c := n.Chain()
 	if err := c.Verifier().Entries(c.Registry(), []*block.Entry{e}); err != nil {
+		return false
+	}
+	if e.Kind == block.KindDeletion {
+		if pre := deletion.PrecheckRequest(c.Verifier(), c.Registry(), e); pre.BadSigner != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// AddToMempool queues an entry for inclusion in the next proposed
+// block. Duplicates (by content hash) are ignored by the pending pool;
+// the signature screen runs through the chain's verification pool.
+func (n *Node) AddToMempool(e *block.Entry) {
+	if !n.screenEntry(e) {
 		return
 	}
 	n.pool.Add(e)
 }
 
-// Propose builds, seals, appends, and gossips a block holding the
-// pending mempool entries, then initiates the summary vote when the next
-// slot is a summary slot. The test harness and the demo CLI drive this
-// explicitly so simulations stay deterministic.
-func (n *Node) Propose() (*block.Block, error) {
+// warmEntries pre-verifies a submitted group while its batch is still
+// assembling: entry signatures and deletion co-signatures populate the
+// verified-signature cache, so the sealing flush re-checks them for
+// cache hits instead of Ed25519 cost.
+func (n *Node) warmEntries(entries []*block.Entry) {
 	c := n.Chain()
-	if c.NextIsSummary() {
-		// The summary vote has not completed (lost votes). Re-announce
-		// ours; peers answer with theirs, repairing the tally.
-		n.afterAppend()
-		return nil, ErrSummaryPending
-	}
-	entries := n.pool.Take()
-	valid := entries[:0]
+	c.Verifier().Warm(c.Registry(), entries)
 	for _, e := range entries {
-		// Drop entries that no longer validate (e.g. a dependency became
-		// marked since submission).
-		if err := c.ValidateEntries([]*block.Entry{e}); err == nil {
-			valid = append(valid, e)
+		if e.Kind == block.KindDeletion {
+			deletion.PrecheckRequest(c.Verifier(), c.Registry(), e)
 		}
 	}
-	b, err := c.BuildNormal(valid)
+}
+
+// proposer adapts the node's proposal path to the batching pipeline's
+// Ledger interface: sealed batches become proposed blocks.
+type proposer struct{ n *Node }
+
+// Seal implements mempool.Ledger.
+func (p proposer) Seal(entries []*block.Entry) ([]*block.Block, []mempool.MarkOutcome, error) {
+	return p.n.sealProposal(entries)
+}
+
+// ValidateEntries implements mempool.Ledger.
+func (p proposer) ValidateEntries(entries []*block.Entry) error {
+	return p.n.Chain().ValidateEntries(entries)
+}
+
+// sealProposal is the node's single sealing path: build a normal block
+// from the batch, seal it with the consensus engine, append it, gossip
+// it, and kick the summary vote when the next slot is a summary slot.
+// When that next slot is ALREADY a summary slot, the proposal must wait
+// for the quorum vote to land the summary first; if the vote does not
+// complete within the budget (lost votes, minority partition), the
+// batch fails with ErrSummaryPending and the pipeline's retry/receipt
+// machinery reports it to the callers.
+func (n *Node) sealProposal(entries []*block.Entry) ([]*block.Block, []mempool.MarkOutcome, error) {
+	n.sealMu.Lock()
+	defer n.sealMu.Unlock()
+	c := n.Chain()
+	if c.NextIsSummary() {
+		if !n.waitSummaryApplied(c) {
+			return nil, nil, ErrSummaryPending
+		}
+		c = n.Chain()
+	}
+	b, err := c.BuildNormal(entries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := n.engine.Seal(b); err != nil {
-		return nil, fmt.Errorf("node: seal: %w", err)
+		return nil, nil, fmt.Errorf("node: seal: %w", err)
 	}
-	if err := c.AppendBlock(b); err != nil {
-		return nil, err
+	outcomes, err := c.AppendBlockOutcomes(b)
+	if err != nil {
+		return nil, nil, err
 	}
 	if n.ep != nil {
 		n.ep.Broadcast(wire.KindBlock, wire.SealEnvelope(n.key, wire.KindBlock, b.Encode()))
 	}
 	n.afterAppend()
-	return b, nil
+	return []*block.Block{b}, outcomes, nil
+}
+
+// waitSummaryApplied announces our vote for the due summary block and
+// polls briefly for the quorum decision to apply it. It reports whether
+// the summary landed (votes are applied by the network delivery
+// goroutines, so polling — not re-entering the tally — is correct
+// here).
+func (n *Node) waitSummaryApplied(c *chain.Chain) bool {
+	n.announceSummary(c)
+	deadline := time.Now().Add(summaryWait)
+	for c.NextIsSummary() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
+}
+
+// Submit enqueues entries into the node's proposal pipeline and returns
+// one Receipt per entry: the concurrent local write path. Entries from
+// many goroutines coalesce into proposed blocks exactly like a
+// single-process chain's Submit; each receipt resolves to the entry's
+// stable Ref (and deletion-mark outcome) once its block is sealed and
+// gossiped. Entries reach the peers inside the sealed block — a
+// receipt therefore implies the entry is on the node's chain and on the
+// wire to every reachable peer.
+func (n *Node) Submit(ctx context.Context, entries ...*block.Entry) ([]mempool.Receipt, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	return n.prop.Submit(ctx, entries...)
+}
+
+// SubmitWait submits entries and blocks until every receipt resolves,
+// failing fast on the first per-entry error.
+func (n *Node) SubmitWait(ctx context.Context, entries ...*block.Entry) ([]mempool.Sealed, error) {
+	receipts, err := n.Submit(ctx, entries...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mempool.Sealed, len(receipts))
+	for i, r := range receipts {
+		s, err := r.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// PipelineStats returns the node's proposal-pipeline counters (sealed
+// batches, receipts, backpressure) merged with the chain's
+// verification, compaction, and index gauges.
+func (n *Node) PipelineStats() mempool.Stats {
+	s := n.prop.Stats()
+	cs := n.Chain().PipelineStats()
+	s.Verify = cs.Verify
+	s.Compaction = cs.Compaction
+	s.Index = cs.Index
+	return s
+}
+
+// SubmitLocal queues an entry as if received from a client and gossips
+// it to the peer anchors — the replicated-mempool flow driven by an
+// explicit Propose (deterministic simulations, the demo CLI). For the
+// pipelined flow, use Submit.
+func (n *Node) SubmitLocal(e *block.Entry) {
+	n.AddToMempool(e)
+	if n.ep != nil {
+		n.ep.Broadcast(wire.KindEntry, wire.SealEnvelope(n.key, wire.KindEntry, e.Encode()))
+	}
+}
+
+// Propose drains the pending gossip pool through the proposal pipeline:
+// one block holding every pending entry that still validates (invalid
+// ones are rejected per-entry by the pipeline, mirroring "wrong
+// requests … have no further effects"). With an empty pool it proposes
+// a filler block (§IV-D.3). While the summary vote for a due summary
+// slot is incomplete it re-announces our vote and returns
+// ErrSummaryPending; the caller retries once the network settles.
+func (n *Node) Propose() (*block.Block, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	c := n.Chain()
+	if c.NextIsSummary() {
+		// Re-announce ours; peers answer with theirs, repairing lost
+		// votes. Retried by the caller rather than blocking here, so
+		// deterministic drivers stay in control of time.
+		n.announceSummary(c)
+		if c.NextIsSummary() {
+			return nil, ErrSummaryPending
+		}
+	}
+	entries := n.pool.Take()
+	ctx := context.Background()
+	receipts, err := n.prop.Submit(ctx, entries...)
+	if err != nil {
+		n.pool.Requeue(entries)
+		return nil, err
+	}
+	var sealed *block.Block
+	var pending []*block.Entry // failed only on the stuck vote, still valid
+	var firstErr error
+	for i, r := range receipts {
+		s, err := r.Wait(ctx)
+		if err != nil {
+			if errors.Is(err, ErrSummaryPending) {
+				pending = append(pending, entries[i])
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if sealed == nil {
+			if b, ok := n.Chain().Block(s.Block); ok {
+				sealed = b
+			}
+		}
+	}
+	// Entries that failed only because the summary vote is incomplete
+	// were never sealed and still validate: they survive for the retry,
+	// whatever errors OTHER entries of the batch resolved with.
+	n.pool.Requeue(pending)
+	if sealed != nil {
+		return sealed, nil
+	}
+	if len(pending) > 0 {
+		return nil, ErrSummaryPending
+	}
+	// Empty pool, or every entry was rejected: the slot still gets its
+	// (possibly empty) block, like a retention tick.
+	blocks, _, err := n.sealProposal(nil)
+	if err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
 }
 
 func (n *Node) handleBlock(env wire.Envelope) {
@@ -245,6 +539,12 @@ func (n *Node) requestSync(peer string) {
 	_ = n.ep.Send(peer, wire.KindSyncReq, wire.SealEnvelope(n.key, wire.KindSyncReq, body))
 }
 
+// handleSyncReq serves catch-up data. A requester still inside our live
+// window gets the incremental suffix it can append directly; one whose
+// continuation point was already truncated away gets the
+// snapshot-anchored status quo instead — marker, head, and the live
+// blocks — which it adopts wholesale (the marker block "is a trusted
+// anchor … already approved by the anchor nodes", §IV-C).
 func (n *Node) handleSyncReq(env wire.Envelope) {
 	if n.ep == nil {
 		return
@@ -254,26 +554,52 @@ func (n *Node) handleSyncReq(env wire.Envelope) {
 		return
 	}
 	c := n.Chain()
-	resp := wire.SyncRespPayload{}
 	from := req.HeadNumber + 1
 	if from < c.Marker() {
-		// The requester's continuation point was already truncated away;
-		// it must adopt the full live chain as its new status quo (the
-		// marker block "is a trusted anchor … already approved by the
-		// anchor nodes", §IV-C).
-		resp.Replace = true
-		from = c.Marker()
+		n.sendSnapshot(env.Sender, c)
+		return
 	}
+	resp := wire.SyncRespPayload{}
 	for b := range c.BlocksSeq() {
-		if b.Header.Number >= from {
-			resp.Blocks = append(resp.Blocks, b.Encode())
+		if b.Header.Number < from {
+			continue
 		}
+		// Incremental catch-up may be partial: the requester appends
+		// what fits under the wire bound, and the gap its next gossip
+		// reveals triggers another sync round for the rest.
+		if len(resp.Blocks) == wire.MaxSyncBlocks {
+			break
+		}
+		resp.Blocks = append(resp.Blocks, b.Encode())
 	}
 	if len(resp.Blocks) == 0 {
 		return
 	}
 	_ = n.ep.Send(env.Sender, wire.KindSyncResp,
 		wire.SealEnvelope(n.key, wire.KindSyncResp, wire.EncodeSyncResp(resp)))
+}
+
+// sendSnapshot unicasts our snapshot-anchored live chain to peer. The
+// marker and head are taken from the streamed blocks themselves, so the
+// payload is internally consistent even if a truncation lands
+// concurrently.
+func (n *Node) sendSnapshot(peer string, c *chain.Chain) {
+	var p wire.SnapshotPayload
+	for b := range c.BlocksSeq() {
+		if len(p.Blocks) == 0 {
+			p.Marker = b.Header.Number
+		}
+		p.Head = b.Header.Number
+		p.Blocks = append(p.Blocks, b.Encode())
+	}
+	if len(p.Blocks) == 0 || len(p.Blocks) > wire.MaxSyncBlocks {
+		// A live window beyond the wire bound cannot ship as one
+		// snapshot — the receiver would reject it on decode, so don't
+		// waste the send (ROADMAP: chunked snapshot streaming).
+		return
+	}
+	_ = n.ep.Send(peer, wire.KindSnapshotResp,
+		wire.SealEnvelope(n.key, wire.KindSnapshotResp, wire.EncodeSnapshot(p)))
 }
 
 func (n *Node) handleSyncResp(env wire.Envelope) {
@@ -285,49 +611,95 @@ func (n *Node) handleSyncResp(env wire.Envelope) {
 	if err != nil || len(resp.Blocks) == 0 {
 		return
 	}
-	blocks := make([]*block.Block, 0, len(resp.Blocks))
+	c := n.Chain()
 	for _, raw := range resp.Blocks {
 		b, err := block.DecodeBlock(raw)
 		if err != nil {
 			return
 		}
-		blocks = append(blocks, b)
-	}
-	if resp.Replace {
-		n.adoptStatusQuo(blocks)
-		return
-	}
-	c := n.Chain()
-	for _, b := range blocks {
 		if err := c.AppendBlock(b); err != nil {
 			return // stale or diverged; a later gossip round retries
 		}
+		n.removeFromMempool(b.Entries)
 	}
 	n.afterAppend()
 }
 
-// adoptStatusQuo replaces the local chain with the quorum's live suffix.
-// The restored chain is structurally re-validated by Restore; adoption
-// only happens when it is strictly ahead of the local head. (A hardened
-// deployment would additionally require quorum signatures over the
-// status quo; the simulator trusts authenticated quorum members.)
-func (n *Node) adoptStatusQuo(blocks []*block.Block) {
-	restored, err := chain.Restore(n.chainCfg, blocks)
+// handleSnapshotResp adopts a quorum peer's snapshot-anchored status
+// quo: the payload's blocks stream through the chain restore pipeline
+// (decode → pool-verify → register, with the look-ahead window), the
+// restored chain is integrity-checked, and adoption happens only when
+// it is strictly ahead of the local head. The local store, if any, is
+// re-pointed at the adopted chain — the old suffix below the new marker
+// is physically deleted, exactly as if this node had executed the
+// quorum's truncations itself.
+func (n *Node) handleSnapshotResp(env wire.Envelope) {
+	if !n.quorum.Contains(env.Sender) {
+		return
+	}
+	p, err := wire.DecodeSnapshot(env.Body)
+	if err != nil {
+		return
+	}
+	restored, err := chain.RestoreStream(n.chainCfg, func(yield func(*block.Block, error) bool) {
+		for _, raw := range p.Blocks {
+			b, err := block.DecodeBlock(raw)
+			if !yield(b, err) || err != nil {
+				return
+			}
+		}
+	})
 	if err != nil {
 		return
 	}
 	if err := restored.VerifyIntegrity(); err != nil {
+		restored.Close()
 		return
 	}
+	// sealMu excludes the proposal pipeline for the whole adoption:
+	// gossip and vote appends run on this same delivery goroutine, so
+	// with the flusher held off, nothing can append to either chain
+	// until the store is re-pointed — the persisted suffix can have no
+	// gap between Attach's backfill and its listener registration.
+	n.sealMu.Lock()
+	defer n.sealMu.Unlock()
 	n.mu.Lock()
-	if restored.Head().Number <= n.chain.Head().Number {
+	if n.closed || restored.Head().Number <= n.chain.Head().Number || restored.Marker() < n.chain.Marker() {
 		n.mu.Unlock()
+		restored.Close()
 		return
 	}
+	old := n.chain
 	n.chain = restored
 	n.tallies = make(map[uint64]*voteState)
 	n.forked = false
 	n.mu.Unlock()
+	// Drain the old chain first (its compactor may still prune the
+	// store with pre-adoption markers; the segment store rejects those
+	// backwards marker moves), then re-point the store at the adopted
+	// chain: Attach backfills the new live suffix and deletes
+	// everything below the new marker.
+	old.Close()
+	if n.store != nil {
+		if _, err := store.Attach(restored, n.store); err != nil {
+			// The node keeps serving from memory, but persistence is
+			// broken: surface it instead of silently restoring a
+			// pre-adoption (quorum-deleted) suffix on the next restart.
+			n.mu.Lock()
+			n.storeErr = err
+			n.mu.Unlock()
+		}
+	}
+}
+
+// StoreErr reports a persistence failure the node could not surface
+// through a return value — today, a failed store re-point during
+// snapshot adoption. A non-nil value means the store must not be
+// trusted for a restart.
+func (n *Node) StoreErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.storeErr
 }
 
 // removeFromMempool drops entries that were included in a block another
@@ -342,6 +714,16 @@ func (n *Node) afterAppend() {
 	if !c.NextIsSummary() {
 		return
 	}
+	n.announceSummary(c)
+}
+
+// announceSummary computes the due summary block locally (§IV-B: every
+// node builds Σ itself), records it as our position for the vote round,
+// and broadcasts the vote. Safe to call repeatedly — re-announcement is
+// the repair protocol for lost votes. A vote-withholding Byzantine
+// member records its position (it must know the correct hash to follow
+// the quorum's decision) but stays silent.
+func (n *Node) announceSummary(c *chain.Chain) {
 	local, err := c.BuildSummary()
 	if err != nil {
 		return
@@ -354,8 +736,15 @@ func (n *Node) afterAppend() {
 	st := n.talliesFor(num)
 	st.localHash = local.Hash()
 	st.localSet = true
+	silent := n.byzantine == attack.VoteWithholding
 	n.mu.Unlock()
 
+	if silent {
+		// Votes may already have arrived before our position was set;
+		// re-evaluate the tally without announcing anything.
+		n.maybeApplySummary(num)
+		return
+	}
 	if n.ep != nil {
 		n.ep.Broadcast(wire.KindVote, wire.SealEnvelope(n.key, wire.KindVote, wire.EncodeVote(vote)))
 	}
@@ -390,8 +779,8 @@ func (n *Node) handleVote(env wire.Envelope) {
 	}
 	// Answer announcements (never answers): repairs lost votes. Repair
 	// votes themselves are counted above but not answered, so the repair
-	// protocol cannot loop.
-	if !v.Repair {
+	// protocol cannot loop. A vote-withholding member never answers.
+	if !v.Repair && n.byzantine != attack.VoteWithholding {
 		n.answerVote(env.Sender, v.Number)
 	}
 }
@@ -553,15 +942,6 @@ func (n *Node) buildLookupResp(req wire.LookupReqPayload) wire.LookupRespPayload
 		resp.LeafBytes = holder.Entries[loc.Index].Encode()
 	}
 	return resp
-}
-
-// SubmitLocal queues an entry as if received from a client and gossips
-// it to the peer anchors.
-func (n *Node) SubmitLocal(e *block.Entry) {
-	n.AddToMempool(e)
-	if n.ep != nil {
-		n.ep.Broadcast(wire.KindEntry, wire.SealEnvelope(n.key, wire.KindEntry, e.Encode()))
-	}
 }
 
 // CorruptForTest mutates the node's deletion-mark state so its next

@@ -1,35 +1,3 @@
-// Package segment implements the segmented persistent store: blocks
-// append into bounded, length-prefixed segment files instead of one
-// file per block.
-//
-// The one-file-per-block layout of store.File makes physical deletion
-// observable, but at scale it is an inode explosion, one open/rename
-// per block on the hot path, and an unbounded unlink storm when the
-// compactor prunes a long prefix. The segment store keeps the paper's
-// storage promise — "the old sequence can be cut off and deleted from
-// the blockchain" (§IV-C) must reclaim bytes, not just unreachability —
-// while amortizing the filesystem cost:
-//
-//   - Appends go to the tail of the active segment file (one buffered
-//     write, fsync per append only when Options.SyncEvery is set;
-//     otherwise the store syncs on segment roll, truncation, snapshot,
-//     and Close).
-//   - An in-memory offset index maps block numbers to (segment,
-//     offset), so reads are one pread.
-//   - Truncation retires whole segments with a single unlink each and
-//     rewrites only the boundary segment that straddles the marker, so
-//     reclaimed disk space stays directly observable via SizeBytes.
-//   - A crash-safe manifest (MANIFEST, written atomically) records the
-//     Genesis marker and the expected segment set; Open reconciles it
-//     against the directory, truncating torn record tails and
-//     completing interrupted truncations.
-//   - A snapshot checkpoint (SNAPSHOT) is written at every marker
-//     shift: the marker, the head at checkpoint time, and the full
-//     marker block (the paper's trusted anchor, §IV-C; the summary
-//     blocks inside the live suffix re-seed the carried-entry ledger).
-//     Stream starts at the snapshot's marker, so a restore replays
-//     only the live suffix even when a crash left stale pre-marker
-//     segments behind.
 package segment
 
 import (
@@ -57,6 +25,9 @@ const (
 	// DefaultSegmentBytes is the roll threshold used when
 	// Options.SegmentBytes is 0.
 	DefaultSegmentBytes = 1 << 20
+	// DefaultMaxOpenFiles is the sealed-segment read-handle cap used
+	// when Options.MaxOpenFiles is 0.
+	DefaultMaxOpenFiles = 64
 	// maxRecordBytes bounds a single decoded record, so a corrupt
 	// length field cannot drive allocation.
 	maxRecordBytes = 64 << 20
@@ -76,6 +47,13 @@ type Options struct {
 	// segment; Open truncates any torn tail back to the last durable
 	// record.
 	SyncEvery bool
+	// MaxOpenFiles caps how many sealed segments keep their read file
+	// handle open at once. Sealed segments are read-only; their handles
+	// live in an LRU and are reopened transparently on access, so a
+	// very long-lived store holds O(MaxOpenFiles) descriptors instead
+	// of one per segment. The active segment's handle is always open
+	// and does not count against the cap. 0 means DefaultMaxOpenFiles.
+	MaxOpenFiles int
 }
 
 // recordLoc locates one block's payload inside a segment file.
@@ -106,6 +84,10 @@ type Store struct {
 	index  map[uint64]recordLoc
 	marker uint64
 	closed bool
+	// lru holds the sealed segments whose read handle is currently
+	// open, least recently used first. The active segment never enters
+	// it: its handle must stay open for appends.
+	lru []*segmentFile
 }
 
 var _ store.Store = (*Store)(nil)
@@ -122,6 +104,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if opts.SegmentBytes == 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.MaxOpenFiles < 0 {
+		return nil, fmt.Errorf("segment: negative MaxOpenFiles")
+	}
+	if opts.MaxOpenFiles == 0 {
+		opts.MaxOpenFiles = DefaultMaxOpenFiles
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segment: create dir: %w", err)
@@ -248,6 +236,15 @@ func (s *Store) recover(man *manifest) error {
 			return err
 		}
 	}
+	// Recovery opened every segment to scan its records; hand the
+	// sealed ones to the read-handle LRU so the cap holds from the
+	// first moment (lruTouch deduplicates segments a boundary rewrite
+	// already registered).
+	for _, seg := range s.segs[:len(s.segs)-1] {
+		if seg.f != nil {
+			s.lruTouch(seg)
+		}
+	}
 	return nil
 }
 
@@ -361,6 +358,86 @@ func (s *Store) startSegmentLocked(id uint64) error {
 
 func (s *Store) active() *segmentFile { return s.segs[len(s.segs)-1] }
 
+// handleLocked returns an open file handle for seg, transparently
+// reopening a sealed segment whose handle was evicted from the
+// read-handle LRU. The active segment is exempt: its handle stays open
+// for appends and never counts against the cap. The returned handle is
+// only guaranteed open until the next handleLocked call (which may
+// evict it), so callers must finish their reads under the same lock
+// hold without interleaving other segment accesses.
+func (s *Store) handleLocked(seg *segmentFile) (*os.File, error) {
+	if seg == s.active() {
+		return seg.f, nil
+	}
+	if seg.f != nil {
+		s.lruTouch(seg)
+		return seg.f, nil
+	}
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: reopen %s: %w", seg.path, err)
+	}
+	seg.f = f
+	s.lruInsert(seg)
+	return f, nil
+}
+
+// lruInsert registers an open sealed-segment handle as most recently
+// used, closing the least recently used handles beyond the cap.
+func (s *Store) lruInsert(seg *segmentFile) {
+	s.lru = append(s.lru, seg)
+	for len(s.lru) > s.opts.MaxOpenFiles {
+		old := s.lru[0]
+		s.lru = s.lru[1:]
+		if old.f != nil {
+			old.f.Close()
+			old.f = nil
+		}
+	}
+}
+
+// lruTouch marks an open handle most recently used, registering it if
+// it is not tracked yet (a segment freshly sealed by a roll).
+func (s *Store) lruTouch(seg *segmentFile) {
+	for i, e := range s.lru {
+		if e == seg {
+			copy(s.lru[i:], s.lru[i+1:])
+			s.lru[len(s.lru)-1] = seg
+			return
+		}
+	}
+	s.lruInsert(seg)
+}
+
+// lruDrop forgets a segment whose handle the caller is closing or
+// replacing.
+func (s *Store) lruDrop(seg *segmentFile) {
+	for i, e := range s.lru {
+		if e == seg {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			return
+		}
+	}
+}
+
+// OpenHandles reports how many segment file handles are currently open
+// (observability for the fd-cap tests; always ≥ 1 for the active
+// segment).
+func (s *Store) OpenHandles() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, store.ErrClosed
+	}
+	open := 0
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			open++
+		}
+	}
+	return open, nil
+}
+
 // encodeRecord builds one on-disk record: the fixed header (block
 // number, payload length, payload CRC-32) followed by the payload.
 // PutBlock and rewriteSegmentLocked MUST share it — the recovery scan
@@ -426,6 +503,9 @@ func (s *Store) rollLocked() error {
 	if err := s.startSegmentLocked(act.id + 1); err != nil {
 		return err
 	}
+	// The sealed segment's handle becomes a read handle: track it in
+	// the LRU so long-lived stores stop accumulating descriptors.
+	s.lruInsert(act)
 	return s.writeManifestLocked()
 }
 
@@ -444,8 +524,12 @@ func (s *Store) getBlockLocked(num uint64) (*block.Block, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", store.ErrNotFound, num)
 	}
+	f, err := s.handleLocked(loc.seg)
+	if err != nil {
+		return nil, err
+	}
 	payload := make([]byte, loc.n)
-	if _, err := loc.seg.f.ReadAt(payload, loc.off); err != nil {
+	if _, err := f.ReadAt(payload, loc.off); err != nil {
 		return nil, fmt.Errorf("segment: read block %d: %w", num, err)
 	}
 	return block.DecodeBlock(payload)
@@ -499,8 +583,13 @@ func (s *Store) LoadAll() ([]*block.Block, error) {
 	raws := make([][]byte, len(nums))
 	for i, num := range nums {
 		loc := s.index[num]
+		f, err := s.handleLocked(loc.seg)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		raw := make([]byte, loc.n)
-		if _, err := loc.seg.f.ReadAt(raw, loc.off); err != nil {
+		if _, err := f.ReadAt(raw, loc.off); err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("segment: read block %d: %w", num, err)
 		}
@@ -585,7 +674,11 @@ func (s *Store) DeleteBelow(marker uint64) error {
 				s.segs = append(kept, s.segs[i:]...)
 				return fmt.Errorf("segment: retire segment %d: %w", seg.id, err)
 			}
-			seg.f.Close()
+			s.lruDrop(seg)
+			if seg.f != nil {
+				seg.f.Close()
+				seg.f = nil
+			}
 		case seg.count > 0 && seg.first < marker:
 			if err := s.rewriteSegmentLocked(seg); err != nil {
 				s.segs = append(kept, s.segs[i:]...)
@@ -631,6 +724,10 @@ func (s *Store) rewriteSegmentLocked(seg *segmentFile) error {
 	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].off < kept[j].off })
 
+	src, err := s.handleLocked(seg)
+	if err != nil {
+		return err
+	}
 	tmpPath := seg.path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -645,7 +742,7 @@ func (s *Store) rewriteSegmentLocked(seg *segmentFile) error {
 	newOffsets := make(map[uint64]int64, len(kept))
 	for _, r := range kept {
 		payload := make([]byte, r.n)
-		if _, err := seg.f.ReadAt(payload, r.off); err != nil {
+		if _, err := src.ReadAt(payload, r.off); err != nil {
 			tmp.Close()
 			return fmt.Errorf("segment: rewrite %s: read block %d: %w", seg.path, r.num, err)
 		}
@@ -665,8 +762,14 @@ func (s *Store) rewriteSegmentLocked(seg *segmentFile) error {
 		tmp.Close()
 		return fmt.Errorf("segment: rewrite %s: rename: %w", seg.path, err)
 	}
-	seg.f.Close()
+	s.lruDrop(seg)
+	if seg.f != nil {
+		seg.f.Close()
+	}
 	seg.f = tmp
+	if seg != s.active() {
+		s.lruInsert(seg)
+	}
 	seg.size = off
 	seg.count = 0
 	for _, r := range kept {
@@ -750,6 +853,7 @@ func (s *Store) closeFiles() {
 			seg.f = nil
 		}
 	}
+	s.lru = nil
 }
 
 // errNoCheckpoint distinguishes "no snapshot yet" from a read failure.

@@ -327,3 +327,93 @@ func TestChainLifecycleOnSegmentStore(t *testing.T) {
 		t.Errorf("restored chain integrity: %v", err)
 	}
 }
+
+func TestReadHandleLRUCapsOpenFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many files; a cap of 2 sealed handles means at
+	// most 3 descriptors (active + 2) no matter how many segments exist.
+	s := open(t, dir, Options{SegmentBytes: 256, MaxOpenFiles: 2})
+	defer s.Close()
+	blocks := fill(t, s, 40)
+	segsN, err := s.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segsN < 5 {
+		t.Fatalf("only %d segments; shrink SegmentBytes to make the test meaningful", segsN)
+	}
+	checkCap := func(when string) {
+		t.Helper()
+		open, err := s.OpenHandles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if open > 3 {
+			t.Errorf("%s: %d handles open, want <= 3 (active + MaxOpenFiles)", when, open)
+		}
+	}
+	checkCap("after appends")
+	// Random-access reads across every segment reopen evicted handles
+	// transparently and stay under the cap.
+	for _, want := range blocks {
+		got, err := s.GetBlock(want.Header.Number)
+		if err != nil {
+			t.Fatalf("GetBlock(%d): %v", want.Header.Number, err)
+		}
+		if got.Hash() != want.Hash() {
+			t.Errorf("block %d corrupted by handle eviction", want.Header.Number)
+		}
+	}
+	checkCap("after random reads")
+	// LoadAll and Stream cross every segment too.
+	all, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(blocks) {
+		t.Fatalf("LoadAll returned %d blocks, want %d", len(all), len(blocks))
+	}
+	checkCap("after LoadAll")
+	n := 0
+	for b, err := range s.Stream() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Hash() != blocks[n].Hash() {
+			t.Errorf("stream block %d differs", n)
+		}
+		n++
+	}
+	checkCap("after Stream")
+
+	// Truncation (snapshot write reads the checkpoint block) and the
+	// boundary rewrite work with evicted handles too.
+	if err := s.DeleteBelow(21); err != nil {
+		t.Fatalf("DeleteBelow: %v", err)
+	}
+	checkCap("after truncation")
+	if _, err := s.GetBlock(21); err != nil {
+		t.Fatalf("read after truncation: %v", err)
+	}
+
+	// Reopen: recovery scans every segment but releases handles beyond
+	// the cap before returning.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{SegmentBytes: 256, MaxOpenFiles: 2})
+	defer s2.Close()
+	open2, err := s2.OpenHandles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open2 > 3 {
+		t.Errorf("after reopen: %d handles open, want <= 3", open2)
+	}
+	if _, err := s2.GetBlock(39); err != nil {
+		t.Fatalf("read after reopen: %v", err)
+	}
+	if _, err := Open(t.TempDir(), Options{MaxOpenFiles: -1}); err == nil {
+		t.Error("negative MaxOpenFiles accepted")
+	}
+}

@@ -48,8 +48,12 @@ func (s *Store) writeSnapshotLocked() error {
 	if !ok {
 		return nil
 	}
+	f, err := s.handleLocked(loc.seg)
+	if err != nil {
+		return fmt.Errorf("segment: snapshot: %w", err)
+	}
 	payload := make([]byte, loc.n)
-	if _, err := loc.seg.f.ReadAt(payload, loc.off); err != nil {
+	if _, err := f.ReadAt(payload, loc.off); err != nil {
 		return fmt.Errorf("segment: snapshot: read checkpoint block %d: %w", s.marker, err)
 	}
 	head := s.marker

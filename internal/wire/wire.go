@@ -246,9 +246,17 @@ func DecodeLookupResp(raw []byte) (LookupRespPayload, error) {
 const (
 	// KindSyncReq asks a peer for the blocks after the requester's head.
 	KindSyncReq = "sync_req"
-	// KindSyncResp carries the requested blocks, or the full live chain
-	// when the requester is behind the sender's Genesis marker.
+	// KindSyncResp carries the requested incremental suffix: blocks the
+	// requester can append directly onto its current head.
 	KindSyncResp = "sync_resp"
+	// KindSnapshotResp answers a sync request whose continuation point
+	// was already truncated away on the sender side: it carries the
+	// sender's snapshot-anchored live chain — the Genesis marker, the
+	// head at capture time, and every live block from the marker on —
+	// and the requester adopts it wholesale as its new status quo (the
+	// marker block "is a trusted anchor … already approved by the
+	// anchor nodes", §IV-C).
+	KindSnapshotResp = "snapshot_resp"
 )
 
 // SyncReqPayload is the body of a KindSyncReq message.
@@ -277,21 +285,19 @@ func DecodeSyncReq(raw []byte) (SyncReqPayload, error) {
 
 // SyncRespPayload is the body of a KindSyncResp message.
 type SyncRespPayload struct {
-	// Replace is true when Blocks holds the sender's complete live chain
-	// and the requester must adopt it as its new status quo (its own
-	// history was already truncated away on the sender side).
-	Replace bool
-	// Blocks are canonical block encodings in ascending order.
+	// Blocks are canonical block encodings in ascending order, directly
+	// appendable onto the requester's head.
 	Blocks [][]byte
 }
 
-// maxSyncBlocks bounds a sync response.
-const maxSyncBlocks = 1 << 16
+// MaxSyncBlocks bounds a sync or snapshot response. Senders must not
+// build payloads beyond it (the node skips the send); receivers reject
+// larger ones on decode.
+const MaxSyncBlocks = 1 << 16
 
 // EncodeSyncResp encodes a sync response.
 func EncodeSyncResp(p SyncRespPayload) []byte {
 	e := codec.NewEncoder(256)
-	e.Bool(p.Replace)
 	e.Uint32(uint32(len(p.Blocks)))
 	for _, b := range p.Blocks {
 		e.Bytes(b)
@@ -303,12 +309,11 @@ func EncodeSyncResp(p SyncRespPayload) []byte {
 func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 	d := codec.NewDecoder(raw)
 	var p SyncRespPayload
-	p.Replace = d.Bool()
 	n := d.Uint32()
 	if err := d.Err(); err != nil {
 		return p, fmt.Errorf("wire: decode sync response: %w", err)
 	}
-	if n > maxSyncBlocks {
+	if n > MaxSyncBlocks {
 		return p, fmt.Errorf("wire: sync response too large: %d blocks", n)
 	}
 	for i := uint32(0); i < n; i++ {
@@ -316,6 +321,61 @@ func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 	}
 	if err := d.Finish(); err != nil {
 		return p, fmt.Errorf("wire: decode sync response: %w", err)
+	}
+	return p, nil
+}
+
+// SnapshotPayload is the body of a KindSnapshotResp message: the
+// sender's snapshot-anchored status quo. Mirrors a segment store's
+// checkpoint (marker + head + the live suffix), so the receiver can
+// rebuild its chain by streaming Blocks through the restore pipeline —
+// never replaying anything older than the marker.
+type SnapshotPayload struct {
+	// Marker is the sender's Genesis marker: the number of Blocks[0].
+	Marker uint64
+	// Head is the sender's head block number at capture time:
+	// the number of Blocks[len(Blocks)-1].
+	Head uint64
+	// Blocks are the canonical encodings of every live block, ascending
+	// from Marker to Head.
+	Blocks [][]byte
+}
+
+// EncodeSnapshot encodes a snapshot-adoption payload.
+func EncodeSnapshot(p SnapshotPayload) []byte {
+	e := codec.NewEncoder(256)
+	e.Uint64(p.Marker)
+	e.Uint64(p.Head)
+	e.Uint32(uint32(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		e.Bytes(b)
+	}
+	return e.Data()
+}
+
+// DecodeSnapshot decodes a snapshot-adoption payload, checking that the
+// declared marker→head range matches the block count (each block's
+// number is authoritatively re-checked by the restore pipeline).
+func DecodeSnapshot(raw []byte) (SnapshotPayload, error) {
+	d := codec.NewDecoder(raw)
+	var p SnapshotPayload
+	p.Marker = d.Uint64()
+	p.Head = d.Uint64()
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return p, fmt.Errorf("wire: decode snapshot: %w", err)
+	}
+	if n > MaxSyncBlocks {
+		return p, fmt.Errorf("wire: snapshot too large: %d blocks", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		p.Blocks = append(p.Blocks, d.Bytes())
+	}
+	if err := d.Finish(); err != nil {
+		return p, fmt.Errorf("wire: decode snapshot: %w", err)
+	}
+	if p.Head < p.Marker || uint64(len(p.Blocks)) != p.Head-p.Marker+1 {
+		return p, fmt.Errorf("wire: snapshot range %d..%d does not match %d blocks", p.Marker, p.Head, len(p.Blocks))
 	}
 	return p, nil
 }

@@ -154,6 +154,65 @@ func TestLookupRespNotFound(t *testing.T) {
 	}
 }
 
+func TestSyncPayloadsRoundTrip(t *testing.T) {
+	req := SyncReqPayload{HeadNumber: 11}
+	backReq, err := DecodeSyncReq(EncodeSyncReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backReq != req {
+		t.Errorf("req round trip %+v", backReq)
+	}
+
+	resp := SyncRespPayload{Blocks: [][]byte{[]byte("b12"), []byte("b13")}}
+	backResp, err := DecodeSyncResp(EncodeSyncResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backResp.Blocks) != 2 || !bytes.Equal(backResp.Blocks[1], resp.Blocks[1]) {
+		t.Errorf("resp blocks lost: %+v", backResp)
+	}
+	if _, err := DecodeSyncResp([]byte{1}); err == nil {
+		t.Error("garbage sync response accepted")
+	}
+}
+
+func TestSnapshotPayloadRoundTrip(t *testing.T) {
+	p := SnapshotPayload{
+		Marker: 6,
+		Head:   8,
+		Blocks: [][]byte{[]byte("b6"), []byte("b7"), []byte("b8")},
+	}
+	back, err := DecodeSnapshot(EncodeSnapshot(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Marker != 6 || back.Head != 8 || len(back.Blocks) != 3 {
+		t.Errorf("round trip %+v", back)
+	}
+	if !bytes.Equal(back.Blocks[2], p.Blocks[2]) {
+		t.Error("block bytes lost")
+	}
+
+	t.Run("range mismatch rejected", func(t *testing.T) {
+		bad := SnapshotPayload{Marker: 6, Head: 9, Blocks: p.Blocks}
+		if _, err := DecodeSnapshot(EncodeSnapshot(bad)); err == nil {
+			t.Error("declared range 6..9 with 3 blocks accepted")
+		}
+	})
+	t.Run("head below marker rejected", func(t *testing.T) {
+		bad := SnapshotPayload{Marker: 9, Head: 6, Blocks: nil}
+		if _, err := DecodeSnapshot(EncodeSnapshot(bad)); err == nil {
+			t.Error("inverted range accepted")
+		}
+	})
+	t.Run("garbage rejected", func(t *testing.T) {
+		if _, err := DecodeSnapshot([]byte{3}); err == nil {
+			t.Error("garbage snapshot accepted")
+		}
+	})
+}
+
 // Property: envelopes round-trip for arbitrary kinds and bodies.
 func TestQuickEnvelopeRoundTrip(t *testing.T) {
 	reg, kp := testRegistry(t)
