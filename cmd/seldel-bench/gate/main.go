@@ -6,8 +6,8 @@
 // Only rate metrics are compared (ops/sec, blocks/sec), so the smoke
 // run may use a smaller -json-entries than the baseline. Guarded
 // metrics: submission throughput at 16 producers, segment-store
-// restore-from-snapshot throughput, and cluster-replicated block
-// throughput at 3 nodes.
+// restore-from-snapshot throughput, cluster-replicated block
+// throughput at 3 nodes, and tombstone-proof build+verify throughput.
 //
 // Usage:
 //
@@ -132,6 +132,17 @@ var metrics = []metric{
 			for _, res := range r.ClusterResults {
 				if res.Nodes == 3 {
 					return res.BlocksPerSec, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
+		name: "tombstone proofs/sec",
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.ManifestResults {
+				if res.Op == "proofs" {
+					return res.RatePerSec, true
 				}
 			}
 			return 0, false

@@ -62,6 +62,35 @@ func TestEvaluateMissingMetric(t *testing.T) {
 	}
 }
 
+func TestEvaluateManifestMetric(t *testing.T) {
+	withProofs := func(proofs float64) *experiments.PipelineReport {
+		r := report(10000, 50000)
+		if proofs > 0 {
+			r.ManifestResults = append(r.ManifestResults, experiments.ManifestResult{
+				Op: "proofs", Manifest: true, RatePerSec: proofs,
+			})
+		}
+		return r
+	}
+	base := withProofs(100000)
+	if fails := evaluate(base, withProofs(80000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+	fails := evaluate(base, withProofs(10000), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "tombstone proofs") {
+		t.Fatalf("want one tombstone-proofs failure, got %v", fails)
+	}
+	// Candidate silently lost the manifest dimension: that is a failure.
+	fails = evaluate(base, withProofs(0), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
+		t.Fatalf("want missing-metric failure, got %v", fails)
+	}
+	// Baseline without the dimension (pre-PR-6 file): skipped, not failed.
+	if fails := evaluate(withProofs(0), withProofs(100000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures vs old baseline: %v", fails)
+	}
+}
+
 func TestHardwareComparable(t *testing.T) {
 	same := func() *experiments.PipelineReport {
 		return &experiments.PipelineReport{GOOS: "linux", GOARCH: "amd64", NumCPU: 4}

@@ -76,6 +76,11 @@ func run(args []string) error {
 			fmt.Printf("cluster nodes=%-3d rounds=%-4d blocks=%-5d %10.0f blocks/sec  deletion converged in %d rounds / %.1fms\n",
 				r.Nodes, r.Rounds, r.Blocks, r.BlocksPerSec, r.DeletionRounds, r.DeletionConvergeMillis)
 		}
+		for _, r := range report.ManifestResults {
+			fmt.Printf("manifest %-9s manifest=%-5v rounds=%-5d records=%-3d %10.0f /sec\n",
+				r.Op, r.Manifest, r.Rounds, r.Records, r.RatePerSec)
+		}
+		fmt.Printf("tombstone proofs: %.0f/sec\n", report.TombstoneProofsPerSec)
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}

@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	seldel                 # replay the paper scenario
-//	seldel -blocks 30      # continue the workload for more cycles
-//	seldel -cluster 4      # run the scenario through a 4-node cluster
+//	seldel                    # replay the paper scenario
+//	seldel -blocks 30         # continue the workload for more cycles
+//	seldel -cluster 4         # run the scenario through a 4-node cluster
+//	seldel doctor -dir DIR    # cross-validate a store directory
+//
+// The doctor subcommand checks a persistent store directory's deletion
+// manifest, snapshot checkpoint, marker file, and segment files against
+// each other; -repair heals what the store's own recovery path can fix
+// and hydrates a missing deletion record, -archive moves applied
+// records to DELETIONS.archive.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"github.com/seldel/seldel"
+	"github.com/seldel/seldel/internal/doctor"
 )
 
 func main() {
@@ -26,6 +34,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "doctor" {
+		return runDoctor(args[1:])
+	}
 	fs := flag.NewFlagSet("seldel", flag.ContinueOnError)
 	extra := fs.Int("blocks", 0, "extra filler blocks to append after the scenario")
 	clusterSize := fs.Int("cluster", 0, "run through an n-node anchor cluster instead of a single chain")
@@ -36,6 +47,34 @@ func run(args []string) error {
 		return runCluster(*clusterSize)
 	}
 	return runSingle(*extra)
+}
+
+// runDoctor cross-validates a store directory's durable deletion state.
+// It exits non-zero (via the returned error) when issues remain after
+// the run, so CI can gate on a clean report.
+func runDoctor(args []string) error {
+	fs := flag.NewFlagSet("seldel doctor", flag.ContinueOnError)
+	dir := fs.String("dir", "", "store directory to examine (required)")
+	repair := fs.Bool("repair", false, "complete interrupted truncations, heal torn tails, hydrate a missing deletion record")
+	archive := fs.Bool("archive", false, "move applied deletion records to DELETIONS.archive (implies -repair)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("doctor: -dir is required")
+	}
+	rep, err := doctor.Run(*dir, doctor.Options{Repair: *repair || *archive, Archive: *archive})
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(os.Stdout); err != nil {
+		return err
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("doctor: %s has unresolved issues", *dir)
+	}
+	return nil
 }
 
 // scenario drives the §V logging scenario on any entry sink.

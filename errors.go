@@ -50,4 +50,7 @@ var (
 	ErrTimeout = client.ErrTimeout
 	// ErrBadProof reports a Merkle inclusion proof that failed to verify.
 	ErrBadProof = client.ErrBadProof
+	// ErrNotDeleted reports a ProveDeleted call for an entry that is
+	// still live (use Lookup/Get for those).
+	ErrNotDeleted = chain.ErrNotDeleted
 )

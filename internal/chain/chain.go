@@ -19,6 +19,7 @@ import (
 	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/manifest"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/simclock"
 	"github.com/seldel/seldel/internal/verify"
@@ -270,6 +271,18 @@ type Chain struct {
 	liveBytes int64
 	stats     Stats
 
+	// Deletion audit state (tombstone.go): every executed truncation
+	// appends one manifest.Record here; tombIndex resolves an erased
+	// entry's origin ref to its record, tombFloor is the highest
+	// recorded NewMarker (the resurrection floor consulted by sync),
+	// and pendingTombs is the scratch list the current truncation's
+	// sweep accumulates into before sealing its record.
+	tombRecs     []manifest.Record
+	tombIndex    map[block.Ref]int
+	tombFloor    uint64
+	nextTombSeq  uint64
+	pendingTombs []manifest.Tombstone
+
 	listeners []Listener
 
 	// pipe is the lazily started submission pipeline behind Submit,
@@ -311,12 +324,14 @@ func New(cfg Config) (*Chain, error) {
 		return nil, err
 	}
 	c := &Chain{
-		cfg:        full,
-		auth:       newAuthorizer(full),
-		index:      make(map[block.Ref]Location),
-		dependents: make(map[block.Ref][]deletion.Dependent),
-		marks:      make(map[block.Ref]Mark),
-		ledger:     newCarriedLedger(),
+		cfg:         full,
+		auth:        newAuthorizer(full),
+		index:       make(map[block.Ref]Location),
+		dependents:  make(map[block.Ref][]deletion.Dependent),
+		marks:       make(map[block.Ref]Mark),
+		ledger:      newCarriedLedger(),
+		tombIndex:   make(map[block.Ref]int),
+		nextTombSeq: 1,
 	}
 	genesis := block.NewNormal(0, full.Clock.Tick(), block.GenesisPrevHash, nil)
 	c.blocks = append(c.blocks, genesis)
@@ -1087,8 +1102,21 @@ func (c *Chain) runCompaction(ev compact.Event) {
 	c.maybeShrinkIndexLocked()
 	c.mu.Unlock()
 	for _, l := range c.listenersSnapshot() {
+		if tl, ok := l.(TruncateEventListener); ok {
+			tl.OnTruncateEvent(ev)
+			continue
+		}
 		l.OnTruncate(ev.OldMarker, ev.NewMarker)
 	}
+}
+
+// TruncateEventListener is an optional Listener extension: listeners
+// implementing it receive the full truncation event — including the
+// deletion-manifest record built under the append lock — instead of the
+// bare marker pair. Persistent stores use it to write the audit record
+// durably in the same operation as the physical prune.
+type TruncateEventListener interface {
+	OnTruncateEvent(ev compact.Event)
 }
 
 // CompactWait blocks until every truncation that happened before the

@@ -67,12 +67,14 @@ func RestoreStream(cfg Config, blocks iter.Seq2[*block.Block, error]) (*Chain, e
 		return nil, err
 	}
 	c := &Chain{
-		cfg:        full,
-		auth:       newAuthorizer(full),
-		index:      make(map[block.Ref]Location),
-		dependents: make(map[block.Ref][]deletion.Dependent),
-		marks:      make(map[block.Ref]Mark),
-		ledger:     newCarriedLedger(),
+		cfg:         full,
+		auth:        newAuthorizer(full),
+		index:       make(map[block.Ref]Location),
+		dependents:  make(map[block.Ref][]deletion.Dependent),
+		marks:       make(map[block.Ref]Mark),
+		ledger:      newCarriedLedger(),
+		tombIndex:   make(map[block.Ref]int),
+		nextTombSeq: 1,
 	}
 	// Producer: stream, shape-check, and pool-verify up to
 	// restoreLookahead blocks ahead of registration. It stops at the

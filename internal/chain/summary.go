@@ -199,8 +199,14 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *compact.Event {
 	}
 	old := c.marker
 	cut := int(plan.newMarker - old)
+	// Alias the cut prefix before the re-slice: the deletion record
+	// below must resolve entry bytes and request co-signatures from
+	// blocks that are about to leave the live view — after the cut they
+	// are unreachable by design, which is exactly why the record is
+	// built here and nowhere else.
+	cutBlocks := c.blocks[:cut]
 	var cutBytes int64
-	for _, b := range c.blocks[:cut] {
+	for _, b := range cutBlocks {
 		cutBytes += int64(b.EncodedSize())
 	}
 	c.liveBytes -= cutBytes
@@ -221,9 +227,10 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *compact.Event {
 			continue
 		}
 		delete(c.index, ref)
-		if _, marked := c.marks[ref]; marked {
+		if m, marked := c.marks[ref]; marked {
 			delete(c.marks, ref)
 			c.stats.ForgottenEntries++
+			c.tombstoneLocked(m, loc, cutBlocks, old)
 			continue
 		}
 		c.liveEntries--
@@ -235,10 +242,12 @@ func (c *Chain) applyPlanLocked(plan summaryPlan) *compact.Event {
 	// prune would let the NEXT summary plan carry entries whose holder
 	// blocks were already cut.
 	c.ledger.prune(c.marker)
-	return &compact.Event{
+	ev := &compact.Event{
 		OldMarker: old,
 		NewMarker: c.marker,
 		Blocks:    uint64(cut),
 		Bytes:     cutBytes,
 	}
+	ev.Record = c.sealDeletionRecordLocked(old, cutBlocks)
+	return ev
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"github.com/seldel/seldel/internal/manifest"
 )
 
 // Event is one executed logical truncation whose physical work is
@@ -13,6 +15,12 @@ type Event struct {
 	OldMarker, NewMarker uint64
 	Blocks               uint64
 	Bytes                int64
+	// Record is the deletion-manifest record describing this truncation
+	// (what was cut, which marks executed, under whose authority), built
+	// by the chain under the append lock while the cut blocks were still
+	// reachable. Listeners that persist an audit trail consume it; nil
+	// on events predating the manifest subsystem.
+	Record *manifest.Record
 }
 
 // Options parameterize a Compactor.

@@ -293,6 +293,29 @@ func TestPipelineBenchStructure(t *testing.T) {
 			t.Errorf("cluster result %d deletion never converged: %+v", i, r)
 		}
 	}
+	// The manifest dimension must pair an off/on lifecycle run with a
+	// proofs row, each having sealed records at a positive rate, and
+	// the headline gate metric must mirror the proofs row.
+	if len(report.ManifestResults) != 3 {
+		t.Fatalf("%d manifest results, want 3", len(report.ManifestResults))
+	}
+	wantManifest := []struct {
+		op      string
+		enabled bool
+	}{{"lifecycle", false}, {"lifecycle", true}, {"proofs", true}}
+	for i, r := range report.ManifestResults {
+		if r.Op != wantManifest[i].op || r.Manifest != wantManifest[i].enabled {
+			t.Errorf("manifest result %d = %s/%v, want %s/%v",
+				i, r.Op, r.Manifest, wantManifest[i].op, wantManifest[i].enabled)
+		}
+		if r.Rounds == 0 || r.RatePerSec <= 0 || r.Records == 0 {
+			t.Errorf("manifest result %d implausible: %+v", i, r)
+		}
+	}
+	if report.TombstoneProofsPerSec != report.ManifestResults[2].RatePerSec {
+		t.Errorf("headline proofs rate %f does not mirror proofs row %f",
+			report.TombstoneProofsPerSec, report.ManifestResults[2].RatePerSec)
+	}
 }
 
 func TestPipelineJSONWritten(t *testing.T) {

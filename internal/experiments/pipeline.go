@@ -98,6 +98,14 @@ type PipelineReport struct {
 	// blocks/sec and deletion-convergence latency at 3/7/15 anchor
 	// nodes on the in-memory network.
 	ClusterResults []ClusterResult `json:"cluster_results"`
+	// ManifestResults is the deletion-manifest dimension (PR 6): the
+	// write+delete lifecycle with the durable audit log on vs off (the
+	// fsynced record append's overhead) and tombstone proofs built and
+	// verified per second.
+	ManifestResults []ManifestResult `json:"manifest_results"`
+	// TombstoneProofsPerSec is the manifest proofs row's rate — the
+	// headline audit-query metric the bench gate guards.
+	TombstoneProofsPerSec float64 `json:"tombstone_proofs_per_sec"`
 	// RestoreSnapshotSpeedup is restore-from-genesis seconds over
 	// restore-from-snapshot seconds on the storage workload.
 	RestoreSnapshotSpeedup float64 `json:"restore_snapshot_speedup"`
@@ -366,6 +374,13 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 		return nil, err
 	}
 	report.ClusterResults = cr
+
+	mr, proofRate, err := measureManifestDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.ManifestResults = mr
+	report.TombstoneProofsPerSec = proofRate
 	return report, nil
 }
 

@@ -1,0 +1,461 @@
+// Package manifest implements the durable deletion manifest: an
+// append-only, CRC-checked log of deletion records that survives the
+// blocks it describes.
+//
+// The paper's scheme erases chain prefixes physically (§IV-C/D), which
+// is exactly what makes erasure unauditable after the fact: once the
+// segment store unlinks a cut prefix, a bare truncation marker cannot
+// answer "what was deleted, when, by whom, under whose co-signatures",
+// nor arm a rejoining replica against a peer replaying the deleted
+// blocks. The manifest closes that gap. Every executed truncation
+// appends one Record — height range, per-entry tombstones with the
+// requester identity and co-signer set, and the hash of the summary
+// block that replaced the cut — written durably in the same critical
+// sequence as the marker shift, before the blocks are unlinked.
+//
+// The file format is deliberately line-oriented (one CRC-prefixed JSON
+// record per line, in the style of beads' deletions manifest) rather
+// than length-prefixed binary: a torn or corrupted line never poisons
+// the records after it, because recovery can resynchronize on the next
+// newline. Open skips corrupt interior lines with warnings and
+// truncates a torn tail, so a crash mid-append costs at most the
+// record being written — which the store will regenerate, since the
+// marker shift it describes did not become durable either.
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+)
+
+const (
+	// FileName is the manifest log file inside a store directory.
+	FileName = "DELETIONS"
+	// ArchiveName holds records moved aside by `seldel doctor -archive`.
+	ArchiveName = "DELETIONS.archive"
+)
+
+// Errors returned by the manifest log.
+var (
+	// ErrBadLine is returned when a single line fails CRC or JSON
+	// validation. Open converts it into a warning; DecodeLine returns it.
+	ErrBadLine = errors.New("manifest: corrupt record line")
+	// ErrClosed is returned for operations on a closed log.
+	ErrClosed = errors.New("manifest: log is closed")
+	// ErrSeqOrder is returned when an appended record would move the
+	// sequence number backwards.
+	ErrSeqOrder = errors.New("manifest: record sequence out of order")
+)
+
+// CoSigner is one dependent-party approval carried into a tombstone,
+// preserved verbatim from the deletion request entry (§IV-D.2).
+type CoSigner struct {
+	Name      string `json:"name"`
+	Signature []byte `json:"sig"`
+}
+
+// Tombstone records the erasure of a single entry: what was deleted,
+// who asked, and which co-signers approved. EntryDigest is the content
+// hash of the erased entry, so an auditor holding the original bytes
+// can still match them to the tombstone without the chain retaining
+// anything recoverable.
+type Tombstone struct {
+	// Target is the erased entry's origin reference (α/e).
+	Target block.Ref `json:"target"`
+	// Requester is the identity that signed the deletion request.
+	Requester string `json:"requester"`
+	// RequestRef locates the deletion request entry that authorized
+	// this erasure. The request block itself may since have been cut.
+	RequestRef block.Ref `json:"request"`
+	// MarkedAtBlock is the chain height at which the request was
+	// admitted and the mark placed.
+	MarkedAtBlock uint64 `json:"marked_at"`
+	// EntryDigest is the content hash of the erased entry's canonical
+	// encoding, or zero when the entry bytes were no longer reachable
+	// at record time.
+	EntryDigest codec.Hash `json:"entry_digest"`
+	// CoSigners are the dependent-party approvals from the request.
+	CoSigners []CoSigner `json:"cosigners,omitempty"`
+}
+
+// Record is one durable deletion record: the audit trail for a single
+// executed truncation (marker shift) of the chain.
+type Record struct {
+	// Seq is the manifest sequence number, assigned by Append,
+	// strictly increasing within one log.
+	Seq uint64 `json:"seq"`
+	// OldMarker and NewMarker bound the deleted height range:
+	// blocks with OldMarker <= number < NewMarker were cut.
+	OldMarker uint64 `json:"old_marker"`
+	NewMarker uint64 `json:"new_marker"`
+	// SummaryBlock and SummaryHash identify the summary block Σ that
+	// replaced the cut prefix; its carried set plus these tombstones
+	// account for every entry of the deleted range.
+	SummaryBlock uint64     `json:"summary_block"`
+	SummaryHash  codec.Hash `json:"summary_hash"`
+	// FirstCutHash and LastCutHash are the block digests bounding the
+	// cut range (the former oldest live block and the last block below
+	// the new marker), pinning exactly which chain section vanished.
+	FirstCutHash codec.Hash `json:"first_cut_hash"`
+	LastCutHash  codec.Hash `json:"last_cut_hash"`
+	// Time is the chain's logical timestamp at execution.
+	Time uint64 `json:"time"`
+	// Tombstones lists the entries whose deletion marks were executed
+	// by this truncation (deliberately dropped, not merely expired).
+	Tombstones []Tombstone `json:"tombstones,omitempty"`
+	// Hydrated marks records reconstructed after the fact by
+	// `seldel doctor` from the snapshot checkpoint, which can recover
+	// the height range but not the per-entry tombstones.
+	Hydrated bool `json:"hydrated,omitempty"`
+}
+
+// Covers reports whether blockNum falls inside the deleted range.
+func (r *Record) Covers(blockNum uint64) bool {
+	return blockNum >= r.OldMarker && blockNum < r.NewMarker
+}
+
+// FindTombstone returns the tombstone for ref, if this record holds one.
+func (r *Record) FindTombstone(ref block.Ref) (Tombstone, bool) {
+	for _, t := range r.Tombstones {
+		if t.Target == ref {
+			return t, true
+		}
+	}
+	return Tombstone{}, false
+}
+
+// clone deep-copies a record so callers cannot alias log internals.
+func (r Record) clone() Record {
+	cp := r
+	cp.Tombstones = make([]Tombstone, len(r.Tombstones))
+	for i, t := range r.Tombstones {
+		cp.Tombstones[i] = t
+		cp.Tombstones[i].CoSigners = append([]CoSigner(nil), t.CoSigners...)
+	}
+	return cp
+}
+
+// EncodeLine renders one record as its durable line: an 8-hex-digit
+// CRC-32 (IEEE) of the JSON body, a space, the JSON, a newline.
+func EncodeLine(r *Record) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: encode record: %w", err)
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(body))
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// DecodeLine parses one line (without requiring the trailing newline)
+// back into a record, verifying the CRC.
+func DecodeLine(line []byte) (*Record, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("%w: missing crc prefix", ErrBadLine)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("%w: bad crc prefix: %v", ErrBadLine, err)
+	}
+	body := line[9:]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (have %08x, want %08x)", ErrBadLine, got, want)
+	}
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLine, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after record", ErrBadLine)
+	}
+	if r.NewMarker < r.OldMarker {
+		return nil, fmt.Errorf("%w: inverted marker range [%d,%d)", ErrBadLine, r.OldMarker, r.NewMarker)
+	}
+	return &r, nil
+}
+
+// Read parses the manifest log in dir without mutating it: no torn-tail
+// truncation, no append handle. This is the inspection path (`seldel
+// doctor` in check mode must not repair as a side effect of looking).
+// A missing log yields an empty slice. Records are returned oldest
+// first by sequence number.
+func Read(dir string) ([]Record, []string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("manifest: read: %w", err)
+	}
+	var recs []Record
+	var warnings []string
+	if n := bytes.LastIndexByte(data, '\n'); n < len(data)-1 {
+		warnings = append(warnings, fmt.Sprintf(
+			"torn tail (%d bytes after last complete record)", len(data)-(n+1)))
+		data = data[:n+1]
+	}
+	for lineNo, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		r, err := DecodeLine(line)
+		if err != nil {
+			warnings = append(warnings, fmt.Sprintf("line %d: %v (skipped)", lineNo+1, err))
+			continue
+		}
+		recs = append(recs, *r)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, warnings, nil
+}
+
+// Log is the append-only deletion-record log backing one store
+// directory. All methods are safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	recs     []Record
+	warnings []string
+	nextSeq  uint64
+	closed   bool
+}
+
+// Open loads (or creates) the manifest log in dir. Corrupt interior
+// lines are skipped and reported via Warnings; a torn tail — bytes
+// after the last complete line, the signature of a crash mid-append —
+// is truncated away so future appends start on a line boundary.
+func Open(dir string) (*Log, error) {
+	path := filepath.Join(dir, FileName)
+	l := &Log{path: path, nextSeq: 1}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("manifest: read %s: %w", path, err)
+	}
+	keep := len(data) // bytes to retain: end of the last complete line
+	if n := bytes.LastIndexByte(data, '\n'); n < len(data)-1 {
+		keep = n + 1 // drop the torn, never-terminated tail
+		l.warnings = append(l.warnings, fmt.Sprintf(
+			"truncated torn tail (%d bytes after last complete record)", len(data)-keep))
+	}
+	for lineNo, line := range bytes.Split(data[:keep], []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		r, err := DecodeLine(line)
+		if err != nil {
+			l.warnings = append(l.warnings, fmt.Sprintf("line %d: %v (skipped)", lineNo+1, err))
+			continue
+		}
+		if r.Seq < l.nextSeq {
+			l.warnings = append(l.warnings, fmt.Sprintf(
+				"line %d: sequence %d not after %d (kept)", lineNo+1, r.Seq, l.nextSeq-1))
+		}
+		l.recs = append(l.recs, *r)
+		if r.Seq >= l.nextSeq {
+			l.nextSeq = r.Seq + 1
+		}
+	}
+	sort.SliceStable(l.recs, func(i, j int) bool { return l.recs[i].Seq < l.recs[j].Seq })
+	if keep < len(data) {
+		if err := os.WriteFile(path+".tmp", data[:keep], 0o644); err != nil {
+			return nil, fmt.Errorf("manifest: rewrite torn log: %w", err)
+		}
+		if err := os.Rename(path+".tmp", path); err != nil {
+			return nil, fmt.Errorf("manifest: rewrite torn log: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: open %s: %w", path, err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// Append assigns the next sequence number to r (unless the caller
+// pre-assigned a higher one), writes it durably (write + fsync), and
+// returns the record as stored.
+func (l *Log) Append(r Record) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, ErrClosed
+	}
+	if r.Seq == 0 {
+		r.Seq = l.nextSeq
+	} else if r.Seq < l.nextSeq {
+		return Record{}, fmt.Errorf("%w: %d < %d", ErrSeqOrder, r.Seq, l.nextSeq)
+	}
+	line, err := EncodeLine(&r)
+	if err != nil {
+		return Record{}, err
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return Record{}, fmt.Errorf("manifest: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return Record{}, fmt.Errorf("manifest: sync: %w", err)
+	}
+	l.recs = append(l.recs, r.clone())
+	l.nextSeq = r.Seq + 1
+	return r, nil
+}
+
+// Records returns a deep copy of all readable records, oldest first.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.recs))
+	for i, r := range l.recs {
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// Head returns the most recent record, if any.
+func (l *Log) Head() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) == 0 {
+		return Record{}, false
+	}
+	return l.recs[len(l.recs)-1].clone(), true
+}
+
+// Len returns the number of readable records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Warnings returns recovery diagnostics accumulated by Open (corrupt
+// lines skipped, torn tail truncated). Empty for a clean log.
+func (l *Log) Warnings() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.warnings...)
+}
+
+// Rewrite atomically replaces the log contents with recs (doctor's
+// archive path: the head record stays, applied history moves aside).
+// The in-memory view and next sequence number follow the new contents;
+// the sequence counter never moves backwards.
+func (l *Log) Rewrite(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var buf bytes.Buffer
+	for i := range recs {
+		line, err := EncodeLine(&recs[i])
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("manifest: rewrite: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("manifest: rewrite: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("manifest: rewrite: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("manifest: reopen after rewrite: %w", err)
+	}
+	l.f = f
+	l.recs = make([]Record, len(recs))
+	for i, r := range recs {
+		l.recs[i] = r.clone()
+		if r.Seq >= l.nextSeq {
+			l.nextSeq = r.Seq + 1
+		}
+	}
+	return nil
+}
+
+// Close releases the underlying file handle.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// AppendToArchive appends recs to the archive file in dir, creating it
+// if needed. Archived records use the same durable line format, so the
+// archive remains readable with DecodeLine.
+func AppendToArchive(dir string, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, ArchiveName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("manifest: open archive: %w", err)
+	}
+	defer f.Close()
+	for i := range recs {
+		line, err := EncodeLine(&recs[i])
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(line); err != nil {
+			return fmt.Errorf("manifest: append archive: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("manifest: sync archive: %w", err)
+	}
+	return nil
+}
+
+// ReadArchive loads the archived records in dir, oldest first. A
+// missing archive yields an empty slice.
+func ReadArchive(dir string) ([]Record, []string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ArchiveName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("manifest: read archive: %w", err)
+	}
+	var recs []Record
+	var warnings []string
+	for lineNo, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		r, err := DecodeLine(line)
+		if err != nil {
+			warnings = append(warnings, fmt.Sprintf("archive line %d: %v (skipped)", lineNo+1, err))
+			continue
+		}
+		recs = append(recs, *r)
+	}
+	return recs, warnings, nil
+}

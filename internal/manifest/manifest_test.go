@@ -1,0 +1,267 @@
+package manifest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/codec"
+)
+
+func sampleRecord(seq, old, newMarker uint64) Record {
+	return Record{
+		Seq:          seq,
+		OldMarker:    old,
+		NewMarker:    newMarker,
+		SummaryBlock: newMarker,
+		SummaryHash:  codec.HashBytes([]byte{byte(newMarker)}),
+		FirstCutHash: codec.HashBytes([]byte{byte(old)}),
+		LastCutHash:  codec.HashBytes([]byte{byte(newMarker - 1)}),
+		Time:         seq * 10,
+		Tombstones: []Tombstone{{
+			Target:        block.Ref{Block: old + 1, Entry: 0},
+			Requester:     "alice",
+			RequestRef:    block.Ref{Block: old + 2, Entry: 1},
+			MarkedAtBlock: old + 2,
+			EntryDigest:   codec.HashBytes([]byte("entry")),
+			CoSigners:     []CoSigner{{Name: "bob", Signature: []byte{1, 2, 3}}},
+		}},
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	r := sampleRecord(3, 0, 6)
+	line, err := EncodeLine(&r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeLine(line)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Seq != r.Seq || got.NewMarker != r.NewMarker || len(got.Tombstones) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	ts := got.Tombstones[0]
+	if ts.Requester != "alice" || ts.Target != (block.Ref{Block: 1}) || len(ts.CoSigners) != 1 {
+		t.Fatalf("tombstone mismatch: %+v", ts)
+	}
+	if ts.CoSigners[0].Name != "bob" || !bytes.Equal(ts.CoSigners[0].Signature, []byte{1, 2, 3}) {
+		t.Fatalf("cosigner mismatch: %+v", ts.CoSigners[0])
+	}
+}
+
+func TestDecodeLineRejectsCorruption(t *testing.T) {
+	r := sampleRecord(1, 0, 3)
+	line, err := EncodeLine(&r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Flip one byte inside the JSON body.
+	bad := append([]byte(nil), line...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := DecodeLine(bad); err == nil {
+		t.Fatal("corrupted body accepted")
+	}
+	if _, err := DecodeLine([]byte("short")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := DecodeLine([]byte("zzzzzzzz {}")); err == nil {
+		t.Fatal("bad crc prefix accepted")
+	}
+}
+
+func TestLogAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := l.Append(sampleRecord(0, (i-1)*3, i*3)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	head, ok := l.Head()
+	if !ok || head.Seq != 3 || head.NewMarker != 9 {
+		t.Fatalf("head = %+v ok=%v", head, ok)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(l2.Warnings()) != 0 {
+		t.Fatalf("clean log has warnings: %v", l2.Warnings())
+	}
+	recs := l2.Records()
+	if len(recs) != 3 || recs[0].Seq != 1 || recs[2].Seq != 3 {
+		t.Fatalf("records after reopen: %+v", recs)
+	}
+	// Sequence numbering continues where it left off.
+	r, err := l2.Append(sampleRecord(0, 9, 12))
+	if err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if r.Seq != 4 {
+		t.Fatalf("seq after reopen = %d, want 4", r.Seq)
+	}
+}
+
+func TestOpenSkipsCorruptInteriorLine(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := l.Append(sampleRecord(0, (i-1)*3, i*3)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Corrupt the middle line in place, keeping its length and newline.
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mid := lines[1]
+	mid[len(mid)/2] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (middle skipped)", l2.Len())
+	}
+	warns := l2.Warnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "line 2") {
+		t.Fatalf("warnings = %v", warns)
+	}
+	head, _ := l2.Head()
+	if head.Seq != 3 {
+		t.Fatalf("head seq = %d, want 3", head.Seq)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := l.Append(sampleRecord(0, 0, 3)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: half a record, no newline.
+	path := filepath.Join(dir, FileName)
+	full, err := EncodeLine(&Record{Seq: 2, OldMarker: 3, NewMarker: 6})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open for torn write: %v", err)
+	}
+	if _, err := f.Write(full[:len(full)/2]); err != nil {
+		t.Fatalf("torn write: %v", err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l2.Len())
+	}
+	if warns := l2.Warnings(); len(warns) != 1 || !strings.Contains(warns[0], "torn tail") {
+		t.Fatalf("warnings = %v", warns)
+	}
+	// Appending after recovery lands on a clean line boundary.
+	if _, err := l2.Append(sampleRecord(0, 3, 6)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	l2.Close()
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l3.Close()
+	if l3.Len() != 2 || len(l3.Warnings()) != 0 {
+		t.Fatalf("after recovery: len=%d warnings=%v", l3.Len(), l3.Warnings())
+	}
+}
+
+func TestRewriteAndArchive(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := l.Append(sampleRecord(0, (i-1)*3, i*3)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	recs := l.Records()
+	applied, head := recs[:2], recs[2:]
+	if err := AppendToArchive(dir, applied); err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	if err := l.Rewrite(head); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len after rewrite = %d", l.Len())
+	}
+	// Sequence counter must not regress after archiving.
+	r, err := l.Append(sampleRecord(0, 9, 12))
+	if err != nil {
+		t.Fatalf("append after rewrite: %v", err)
+	}
+	if r.Seq != 4 {
+		t.Fatalf("seq after rewrite = %d, want 4", r.Seq)
+	}
+	arch, warns, err := ReadArchive(dir)
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("read archive: %v %v", err, warns)
+	}
+	if len(arch) != 2 || arch[0].Seq != 1 || arch[1].Seq != 2 {
+		t.Fatalf("archive contents: %+v", arch)
+	}
+}
+
+func TestCoversAndFindTombstone(t *testing.T) {
+	r := sampleRecord(1, 3, 9)
+	if !r.Covers(3) || !r.Covers(8) || r.Covers(9) || r.Covers(2) {
+		t.Fatal("Covers range wrong")
+	}
+	if _, ok := r.FindTombstone(block.Ref{Block: 4, Entry: 0}); !ok {
+		t.Fatal("tombstone not found")
+	}
+	if _, ok := r.FindTombstone(block.Ref{Block: 4, Entry: 9}); ok {
+		t.Fatal("phantom tombstone found")
+	}
+}

@@ -43,6 +43,14 @@ type Config struct {
 	// Byzantine fault-injects the node for the scenario suite; the
 	// zero value is an honest node. See internal/attack.Behavior.
 	Byzantine attack.Behavior
+	// FillerInterval rate-limits the empty-pool filler block Propose
+	// seals to keep retention ticking (§IV-D.3): with a non-zero
+	// interval, an empty-pool Propose within the interval of the last
+	// filler returns ErrFillerThrottled instead of minting another
+	// empty block. Zero keeps the historical behaviour — every
+	// empty-pool Propose seals a filler — which deterministic drivers
+	// rely on.
+	FillerInterval time.Duration
 }
 
 // ErrSummaryPending is returned while the quorum vote for the due
@@ -51,6 +59,12 @@ type Config struct {
 // re-announces its vote and the caller retries once the network
 // settles.
 var ErrSummaryPending = errors.New("node: summary vote pending")
+
+// ErrFillerThrottled is returned by Propose when the pool is empty and
+// the configured Config.FillerInterval since the last filler block has
+// not yet elapsed: the chain does not need another empty block before
+// the next retention tick.
+var ErrFillerThrottled = errors.New("node: filler block throttled")
 
 // ErrClosed is returned by writes after Close. It wraps the pipeline's
 // closed sentinel, so applications classify both with one errors.Is
@@ -96,6 +110,10 @@ type Node struct {
 	byzantine attack.Behavior
 	closed    bool
 	storeErr  error // persistence failure during snapshot adoption
+	// fillerEvery/lastFiller implement the Config.FillerInterval rate
+	// limit on empty-pool filler blocks; lastFiller is guarded by mu.
+	fillerEvery time.Duration
+	lastFiller  time.Time
 }
 
 // New creates an anchor node and joins it to the network. With a
@@ -126,16 +144,17 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		name:      cfg.Key.Name(),
-		key:       cfg.Key,
-		chain:     c,
-		chainCfg:  chainCfg,
-		engine:    cfg.Engine,
-		quorum:    cfg.Quorum,
-		store:     cfg.Store,
-		pool:      mempool.NewPool(),
-		tallies:   make(map[uint64]*voteState),
-		byzantine: cfg.Byzantine,
+		name:        cfg.Key.Name(),
+		key:         cfg.Key,
+		chain:       c,
+		chainCfg:    chainCfg,
+		engine:      cfg.Engine,
+		quorum:      cfg.Quorum,
+		store:       cfg.Store,
+		pool:        mempool.NewPool(),
+		tallies:     make(map[uint64]*voteState),
+		byzantine:   cfg.Byzantine,
+		fillerEvery: cfg.FillerInterval,
 	}
 	n.prop = mempool.NewBatcher(proposer{n}, mempool.Options{Warm: n.warmEntries})
 	if cfg.Network != nil {
@@ -501,12 +520,35 @@ func (n *Node) Propose() (*block.Block, error) {
 		return nil, ErrSummaryPending
 	}
 	// Empty pool, or every entry was rejected: the slot still gets its
-	// (possibly empty) block, like a retention tick.
+	// (possibly empty) block, like a retention tick. A truly empty pool
+	// is rate-limited to the configured filler interval, so idle nodes
+	// do not mint chains of empty blocks between retention ticks.
+	if len(entries) == 0 && !n.fillerDue() {
+		return nil, ErrFillerThrottled
+	}
 	blocks, _, err := n.sealProposal(nil)
 	if err != nil {
 		return nil, err
 	}
 	return blocks[0], nil
+}
+
+// fillerDue reports whether an empty-pool filler block may be sealed
+// now, stamping the throttle window when it is. With no configured
+// interval every filler is due, preserving deterministic drivers that
+// call Propose on their own clock.
+func (n *Node) fillerDue() bool {
+	if n.fillerEvery <= 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	if !n.lastFiller.IsZero() && now.Sub(n.lastFiller) < n.fillerEvery {
+		return false
+	}
+	n.lastFiller = now
+	return true
 }
 
 func (n *Node) handleBlock(env wire.Envelope) {
@@ -560,6 +602,10 @@ func (n *Node) handleSyncReq(env wire.Envelope) {
 		return
 	}
 	resp := wire.SyncRespPayload{}
+	if head, ok := c.TombstoneHead(); ok {
+		resp.ManifestSeq = head.Seq
+		resp.ManifestMarker = head.NewMarker
+	}
 	for b := range c.BlocksSeq() {
 		if b.Header.Number < from {
 			continue
@@ -585,6 +631,10 @@ func (n *Node) handleSyncReq(env wire.Envelope) {
 // concurrently.
 func (n *Node) sendSnapshot(peer string, c *chain.Chain) {
 	var p wire.SnapshotPayload
+	if head, ok := c.TombstoneHead(); ok {
+		p.ManifestSeq = head.Seq
+		p.ManifestMarker = head.NewMarker
+	}
 	for b := range c.BlocksSeq() {
 		if len(p.Blocks) == 0 {
 			p.Marker = b.Header.Number
@@ -612,9 +662,17 @@ func (n *Node) handleSyncResp(env wire.Envelope) {
 		return
 	}
 	c := n.Chain()
+	// Resurrection guard: our own deletion manifest is authoritative.
+	// Any offered block below the highest marker we recorded a deletion
+	// for would re-introduce data the quorum erased — drop the whole
+	// offer, whatever manifest head the sender claims.
+	floor := c.ResurrectionFloor()
 	for _, raw := range resp.Blocks {
 		b, err := block.DecodeBlock(raw)
 		if err != nil {
+			return
+		}
+		if b.Header.Number < floor {
 			return
 		}
 		if err := c.AppendBlock(b); err != nil {
@@ -639,6 +697,15 @@ func (n *Node) handleSnapshotResp(env wire.Envelope) {
 	}
 	p, err := wire.DecodeSnapshot(env.Body)
 	if err != nil {
+		return
+	}
+	// Resurrection guard: a snapshot anchored below our own recorded
+	// deletion floor would hand back blocks this node witnessed the
+	// quorum delete (e.g. a stale or malicious peer replaying an old
+	// status quo). The floor outlives the blocks themselves — it is
+	// re-seeded from the store's DELETIONS log on restart — so the check
+	// holds even when the local chain was rebuilt from scratch.
+	if p.Marker < n.Chain().ResurrectionFloor() {
 		return
 	}
 	restored, err := chain.RestoreStream(n.chainCfg, func(yield func(*block.Block, error) bool) {

@@ -1,11 +1,34 @@
 package store
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/compact"
+	"github.com/seldel/seldel/internal/manifest"
 )
+
+// deletionRecorder is the optional store capability behind the durable
+// deletion manifest: stores implementing it (the segment store) persist
+// the audit record atomically with the marker shift.
+type deletionRecorder interface {
+	DeleteBelowRecord(marker uint64, rec *manifest.Record) error
+}
+
+// deletionSource is the optional store capability of recovering
+// previously persisted deletion records, used to re-seed a restored
+// chain's tombstone index.
+type deletionSource interface {
+	DeletionRecords() ([]manifest.Record, error)
+}
+
+// markerSource is the optional store capability of reporting its
+// persisted Genesis marker.
+type markerSource interface {
+	Marker() (uint64, error)
+}
 
 // Recorder is a chain.Listener that mirrors every chain mutation into a
 // Store: appended blocks are persisted, truncations delete the cut
@@ -42,6 +65,34 @@ func (r *Recorder) OnTruncate(_, newMarker uint64) {
 	r.err = r.store.DeleteBelow(newMarker)
 }
 
+// OnTruncateEvent implements chain.TruncateEventListener: when the
+// event carries a deletion record and the store can persist one, the
+// record is written durably in the same operation as the prune. The
+// record is passed by copy so the store's sequence write-back never
+// aliases chain state; a store whose DELETIONS log is further along
+// than the chain's numbering (a reattached chain over an older dir)
+// gets the record renumbered rather than dropped.
+func (r *Recorder) OnTruncateEvent(ev compact.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	dr, ok := r.store.(deletionRecorder)
+	if !ok || ev.Record == nil {
+		r.err = r.store.DeleteBelow(ev.NewMarker)
+		return
+	}
+	rec := *ev.Record
+	err := dr.DeleteBelowRecord(ev.NewMarker, &rec)
+	if errors.Is(err, manifest.ErrSeqOrder) {
+		rec = *ev.Record
+		rec.Seq = 0 // let the log assign its own next sequence
+		err = dr.DeleteBelowRecord(ev.NewMarker, &rec)
+	}
+	r.err = err
+}
+
 // Err returns the first persistence error, if any.
 func (r *Recorder) Err() error {
 	r.mu.Lock()
@@ -57,7 +108,25 @@ func Attach(c *chain.Chain, s Store) (*Recorder, error) {
 			return nil, err
 		}
 	}
-	if err := s.DeleteBelow(c.Marker()); err != nil {
+	// A store whose persisted marker is already AHEAD of the chain's
+	// (blocks were lost but the DELETIONS log survived, rolling the
+	// marker forward at Open) must keep it: moving it back would
+	// resurrect the store's deleted range, and the segment store
+	// rejects backwards moves anyway. The chain's own marker catches
+	// up when it adopts a post-deletion status quo.
+	target := c.Marker()
+	if ms, ok := s.(markerSource); ok {
+		if m, err := ms.Marker(); err == nil && m > target {
+			target = m
+		}
+	}
+	if err := s.DeleteBelow(target); err != nil {
+		return nil, err
+	}
+	// A store directory can outlive its block files (an operator wiped
+	// segments but kept the DELETIONS audit log): the surviving records
+	// must still arm the fresh chain's resurrection floor.
+	if err := seedTombstones(c, s); err != nil {
 		return nil, err
 	}
 	r := NewRecorder(s)
@@ -75,7 +144,26 @@ func OpenChain(cfg chain.Config, s Store) (*chain.Chain, *Recorder, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := seedTombstones(c, s); err != nil {
+		return nil, nil, err
+	}
 	r := NewRecorder(s)
 	c.AddListener(r)
 	return c, r, nil
+}
+
+// seedTombstones replays the store's persisted deletion records into
+// the restored chain, so audits and the sync resurrection floor survive
+// the restart that erased the blocks they describe.
+func seedTombstones(c *chain.Chain, s Store) error {
+	ds, ok := s.(deletionSource)
+	if !ok {
+		return nil
+	}
+	recs, err := ds.DeletionRecords()
+	if err != nil {
+		return err
+	}
+	c.SeedTombstones(recs)
+	return nil
 }

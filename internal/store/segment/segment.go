@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"github.com/seldel/seldel/internal/block"
+	manifestlog "github.com/seldel/seldel/internal/manifest"
 	"github.com/seldel/seldel/internal/store"
 )
 
@@ -54,6 +55,13 @@ type Options struct {
 	// of one per segment. The active segment's handle is always open
 	// and does not count against the cap. 0 means DefaultMaxOpenFiles.
 	MaxOpenFiles int
+	// DisableManifest turns off the durable deletion manifest (the
+	// DELETIONS audit log written alongside every truncation). Off by
+	// default because the manifest is the only post-erasure evidence of
+	// what was deleted and the only local defense against a peer
+	// resurrecting cut blocks; disable it for benchmarks isolating raw
+	// truncation cost.
+	DisableManifest bool
 }
 
 // recordLoc locates one block's payload inside a segment file.
@@ -84,6 +92,10 @@ type Store struct {
 	index  map[uint64]recordLoc
 	marker uint64
 	closed bool
+	// del is the durable deletion manifest (nil when disabled): one
+	// audit record per executed truncation, appended before the marker
+	// shift becomes durable.
+	del *manifestlog.Log
 	// lru holds the sealed segments whose read handle is currently
 	// open, least recently used first. The active segment never enters
 	// it: its handle must stay open for appends.
@@ -136,6 +148,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	case !errors.Is(err, errNoCheckpoint):
 		return nil, err
+	}
+	// The deletion manifest is the third durable marker record, written
+	// BEFORE the snapshot in the truncation sequence. A crash between
+	// the manifest append and the snapshot write leaves the manifest
+	// head ahead of both marker files; rolling the marker forward to it
+	// completes the interrupted deletion instead of resurrecting the
+	// blocks it recorded.
+	if !opts.DisableManifest {
+		del, err := manifestlog.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.del = del
+		if head, ok := del.Head(); ok && head.NewMarker > s.marker {
+			s.marker = head.NewMarker
+		}
 	}
 	if err := s.recover(man); err != nil {
 		s.closeFiles()
@@ -638,6 +666,23 @@ func (s *Store) Stream() iter.Seq2[*block.Block, error] {
 func (s *Store) DeleteBelow(marker uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteBelowLocked(marker, nil)
+}
+
+// DeleteBelowRecord is DeleteBelow with a deletion-manifest record:
+// rec is appended durably to the DELETIONS log after the active
+// segment syncs and before the marker files shift, so the audit trail
+// exists from the first moment the deletion can become visible. The
+// assigned manifest sequence number is written back into rec. On a
+// store without a manifest (DisableManifest) the record is dropped and
+// the call degrades to DeleteBelow.
+func (s *Store) DeleteBelowRecord(marker uint64, rec *manifestlog.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteBelowLocked(marker, rec)
+}
+
+func (s *Store) deleteBelowLocked(marker uint64, rec *manifestlog.Record) error {
 	if s.closed {
 		return store.ErrClosed
 	}
@@ -646,6 +691,13 @@ func (s *Store) DeleteBelow(marker uint64) error {
 	}
 	if err := s.active().f.Sync(); err != nil {
 		return fmt.Errorf("segment: sync before truncate: %w", err)
+	}
+	if rec != nil && s.del != nil {
+		stored, err := s.del.Append(*rec)
+		if err != nil {
+			return err
+		}
+		rec.Seq = stored.Seq
 	}
 	s.marker = marker
 	if err := s.writeSnapshotLocked(); err != nil {
@@ -852,6 +904,9 @@ func (s *Store) closeFiles() {
 			seg.f.Close()
 			seg.f = nil
 		}
+	}
+	if s.del != nil {
+		s.del.Close()
 	}
 	s.lru = nil
 }

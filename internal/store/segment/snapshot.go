@@ -72,6 +72,22 @@ func (s *Store) writeSnapshotLocked() error {
 	return writeFileAtomic(filepath.Join(s.dir, snapshotName), buf)
 }
 
+// Checkpoint rewrites the SNAPSHOT file for the current marker. The
+// truncation path writes it as a matter of course; this explicit form
+// is for repair (seldel doctor): a crash between the DELETIONS append
+// and the snapshot write leaves the checkpoint one deletion behind, and
+// Open reconciles the marker without rewriting the file. A marker block
+// the store does not hold (never truncated, or attached mid-life)
+// leaves the file untouched.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.writeSnapshotLocked()
+}
+
 // Snapshot returns the last written checkpoint. ok is false when the
 // store has never truncated (no checkpoint exists yet); a corrupt
 // checkpoint file is an error — the store itself remains usable, but

@@ -288,6 +288,15 @@ type SyncRespPayload struct {
 	// Blocks are canonical block encodings in ascending order, directly
 	// appendable onto the requester's head.
 	Blocks [][]byte
+	// ManifestSeq and ManifestMarker describe the sender's deletion
+	// manifest head (zero when the sender never deleted anything): the
+	// sequence number of its newest deletion record and the Genesis
+	// marker that record established. The receiver checks the offered
+	// blocks against its OWN manifest — a peer cannot talk a node into
+	// resurrecting a range the node itself witnessed being deleted —
+	// and uses the sender's head only for audit and diagnostics.
+	ManifestSeq    uint64
+	ManifestMarker uint64
 }
 
 // MaxSyncBlocks bounds a sync or snapshot response. Senders must not
@@ -302,6 +311,8 @@ func EncodeSyncResp(p SyncRespPayload) []byte {
 	for _, b := range p.Blocks {
 		e.Bytes(b)
 	}
+	e.Uint64(p.ManifestSeq)
+	e.Uint64(p.ManifestMarker)
 	return e.Data()
 }
 
@@ -319,6 +330,8 @@ func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 	for i := uint32(0); i < n; i++ {
 		p.Blocks = append(p.Blocks, d.Bytes())
 	}
+	p.ManifestSeq = d.Uint64()
+	p.ManifestMarker = d.Uint64()
 	if err := d.Finish(); err != nil {
 		return p, fmt.Errorf("wire: decode sync response: %w", err)
 	}
@@ -339,6 +352,12 @@ type SnapshotPayload struct {
 	// Blocks are the canonical encodings of every live block, ascending
 	// from Marker to Head.
 	Blocks [][]byte
+	// ManifestSeq and ManifestMarker describe the sender's deletion
+	// manifest head (see SyncRespPayload). A snapshot whose Marker sits
+	// below the receiver's own resurrection floor is rejected: adopting
+	// it would resurrect blocks the receiver recorded as deleted.
+	ManifestSeq    uint64
+	ManifestMarker uint64
 }
 
 // EncodeSnapshot encodes a snapshot-adoption payload.
@@ -350,6 +369,8 @@ func EncodeSnapshot(p SnapshotPayload) []byte {
 	for _, b := range p.Blocks {
 		e.Bytes(b)
 	}
+	e.Uint64(p.ManifestSeq)
+	e.Uint64(p.ManifestMarker)
 	return e.Data()
 }
 
@@ -371,6 +392,8 @@ func DecodeSnapshot(raw []byte) (SnapshotPayload, error) {
 	for i := uint32(0); i < n; i++ {
 		p.Blocks = append(p.Blocks, d.Bytes())
 	}
+	p.ManifestSeq = d.Uint64()
+	p.ManifestMarker = d.Uint64()
 	if err := d.Finish(); err != nil {
 		return p, fmt.Errorf("wire: decode snapshot: %w", err)
 	}

@@ -22,10 +22,16 @@ type builder struct {
 	engine    Engine
 	store     Store
 	listeners []Listener
-	// owned are resources opened by an option itself (WithSegmentStore)
-	// rather than passed in by the caller: the new chain adopts them
-	// (closed by Chain.Close), and New closes them on a construction
-	// failure so no handle leaks.
+	// segDir/segOpts record a WithSegmentStore request; the store is
+	// opened by b.open() so later options (WithoutDeletionManifest) can
+	// still adjust segOpts regardless of option order.
+	segDir      string
+	segOpts     SegmentOptions
+	manifestOff bool
+	// owned are resources opened by the builder itself (the deferred
+	// WithSegmentStore open) rather than passed in by the caller: the
+	// new chain adopts them (closed by Chain.Close), and New closes
+	// them on a construction failure so no handle leaks.
 	owned []io.Closer
 }
 
@@ -82,8 +88,20 @@ func New(reg *Registry, opts ...Option) (*Chain, error) {
 }
 
 // open constructs the chain, restoring from the store when it already
-// holds blocks.
+// holds blocks. A WithSegmentStore request is opened here — after every
+// option ran — so store-shaping options compose in any order.
 func (b *builder) open() (*Chain, error) {
+	if b.segDir != "" {
+		b.segOpts.DisableManifest = b.manifestOff
+		s, err := segment.Open(b.segDir, b.segOpts)
+		if err != nil {
+			return nil, err
+		}
+		b.store = s
+		b.owned = append(b.owned, s)
+	} else if b.manifestOff {
+		return nil, fmt.Errorf("%w: WithoutDeletionManifest requires WithSegmentStore", ErrConfig)
+	}
 	if b.store == nil {
 		return chain.New(b.cfg)
 	}
@@ -238,16 +256,24 @@ func WithSegmentStore(dir string, opts ...SegmentOptions) Option {
 		if len(opts) > 1 {
 			return fmt.Errorf("%w: at most one SegmentOptions", ErrConfig)
 		}
-		var o SegmentOptions
 		if len(opts) == 1 {
-			o = opts[0]
+			b.segOpts = opts[0]
 		}
-		s, err := segment.Open(dir, o)
-		if err != nil {
-			return err
-		}
-		b.store = s
-		b.owned = append(b.owned, s)
+		b.segDir = dir
+		return nil
+	}
+}
+
+// WithoutDeletionManifest disables the durable deletion manifest of a
+// WithSegmentStore chain: truncations shift the marker without writing
+// a DELETIONS audit record, so restarts cannot re-seed tombstones or
+// the sync resurrection floor from disk. Only for callers that measure
+// or explicitly do not want the audit trail; requires WithSegmentStore
+// (callers opening their own segment store set
+// SegmentOptions.DisableManifest instead).
+func WithoutDeletionManifest() Option {
+	return func(b *builder) error {
+		b.manifestOff = true
 		return nil
 	}
 }

@@ -67,7 +67,9 @@ import (
 	"github.com/seldel/seldel/internal/compact"
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/deletion"
+	"github.com/seldel/seldel/internal/doctor"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/manifest"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/node"
@@ -207,6 +209,34 @@ type (
 	// StoreSnapshot is a segment store's checkpoint: the Genesis marker,
 	// the head at checkpoint time, and the marker block itself.
 	StoreSnapshot = segment.Snapshot
+)
+
+// Deletion-manifest types: the durable audit trail every truncation of
+// a segment-store chain writes atomically with the marker shift, and
+// the tombstone/proof API built on it (Chain.Tombstones,
+// Chain.ProveDeleted). See README "Audit trail".
+type (
+	// ManifestRecord is one deletion record: the marker shift, the
+	// summary block that executed it, digests of the cut boundary, and
+	// one Tombstone per deliberately forgotten entry.
+	ManifestRecord = manifest.Record
+	// Tombstone is the per-entry audit stub inside a ManifestRecord:
+	// target reference, requester, request reference, entry digest, and
+	// the co-signer set that authorized the deletion.
+	Tombstone = manifest.Tombstone
+	// TombstoneCoSigner is one co-signature captured in a Tombstone.
+	TombstoneCoSigner = manifest.CoSigner
+	// DeletedProof is Chain.ProveDeleted's result: the manifest record
+	// covering the erased entry plus, while the summary block is live, a
+	// Merkle non-inclusion bracket proving the entry is NOT among the
+	// carried survivors. Verify checks it self-contained.
+	DeletedProof = chain.DeletedProof
+	// DoctorOptions configures Doctor (check vs. repair vs. archive).
+	DoctorOptions = doctor.Options
+	// DoctorReport is Doctor's cross-validation result.
+	DoctorReport = doctor.Report
+	// DoctorFinding is one issue found by Doctor.
+	DoctorFinding = doctor.Finding
 )
 
 // Audit use-case types (the paper's evaluation scenario).
@@ -351,6 +381,15 @@ func AttachStore(c *Chain, s Store) error {
 func OpenStoredChain(cfg Config, s Store) (*Chain, error) {
 	c, _, err := store.OpenChain(cfg, s)
 	return c, err
+}
+
+// Doctor cross-validates a segment-store directory's durable deletion
+// state — DELETIONS manifest, SNAPSHOT checkpoint, MANIFEST marker,
+// segment files — and optionally repairs drift; the `seldel doctor`
+// subcommand is a thin wrapper around it. Run it against a directory no
+// chain has open (check mode is read-only, repair mode is not).
+func Doctor(dir string, opts DoctorOptions) (*DoctorReport, error) {
+	return doctor.Run(dir, opts)
 }
 
 // NewAuditLogger builds the login-audit logger of the paper's evaluation
