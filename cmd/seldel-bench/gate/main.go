@@ -3,11 +3,14 @@
 // baseline and fails (exit 1) when a guarded throughput metric
 // regressed by more than the allowed fraction.
 //
-// Only rate metrics are compared (ops/sec, blocks/sec), so the smoke
-// run may use a smaller -json-entries than the baseline. Guarded
-// metrics: submission throughput at 16 producers, segment-store
-// restore-from-snapshot throughput, cluster-replicated block
-// throughput at 3 nodes, and tombstone-proof build+verify throughput.
+// Guarded metrics are either rates (ops/sec, blocks/sec — lower is a
+// regression) or costs (allocs per appended entry, fsyncs per block —
+// HIGHER is a regression); both are stable under a smaller
+// -json-entries than the baseline. Rate guards: submission throughput
+// at 16 producers, segment-store restore-from-snapshot throughput,
+// cluster-replicated block throughput at 3 nodes, tombstone-proof
+// build+verify throughput. Cost guards: pipelined append allocs/entry
+// and group-commit fsyncs/block at 16 producers.
 //
 // Usage:
 //
@@ -96,11 +99,14 @@ func readReport(path string) (*experiments.PipelineReport, error) {
 	return &r, nil
 }
 
-// metric extracts one guarded rate from a report; ok is false when the
-// report does not contain it (old baselines, partial runs).
+// metric extracts one guarded number from a report; ok is false when
+// the report does not contain it (old baselines, partial runs). By
+// default the number is a rate (lower candidate = regression); cost
+// metrics set lowerIsBetter and regress in the other direction.
 type metric struct {
-	name    string
-	extract func(*experiments.PipelineReport) (float64, bool)
+	name          string
+	lowerIsBetter bool
+	extract       func(*experiments.PipelineReport) (float64, bool)
 }
 
 var metrics = []metric{
@@ -148,13 +154,38 @@ var metrics = []metric{
 			return 0, false
 		},
 	},
+	{
+		name:          "append allocs/entry",
+		lowerIsBetter: true,
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.HotPathResults {
+				if res.Op == "append-allocs" {
+					return res.AllocsPerEntry, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
+		name:          "group-commit fsyncs/block@16",
+		lowerIsBetter: true,
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.HotPathResults {
+				if res.Op == "durability" && res.Mode == "group" {
+					return res.FsyncsPerBlock, true
+				}
+			}
+			return 0, false
+		},
+	},
 }
 
 // evaluate returns one failure line per guarded metric whose candidate
-// rate fell more than maxRegress below the baseline rate. A metric
-// missing from the candidate while present in the baseline is a
-// failure too (the dimension silently stopped running); one missing
-// from the baseline is skipped.
+// moved more than maxRegress in the bad direction: below the baseline
+// for rates, above it for lower-is-better costs. A metric missing from
+// the candidate while present in the baseline is a failure too (the
+// dimension silently stopped running); one missing from the baseline is
+// skipped.
 func evaluate(base, cand *experiments.PipelineReport, maxRegress float64) []string {
 	var failures []string
 	for _, m := range metrics {
@@ -164,7 +195,17 @@ func evaluate(base, cand *experiments.PipelineReport, maxRegress float64) []stri
 		}
 		c, ok := m.extract(cand)
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from candidate (baseline %.0f)", m.name, b))
+			failures = append(failures, fmt.Sprintf("%s: missing from candidate (baseline %.3g)", m.name, b))
+			continue
+		}
+		if m.lowerIsBetter {
+			ceiling := b * (1 + maxRegress)
+			if c > ceiling {
+				failures = append(failures, fmt.Sprintf("%s: %.3g > ceiling %.3g (baseline %.3g, allowed +%.0f%%)",
+					m.name, c, ceiling, b, maxRegress*100))
+			} else {
+				fmt.Printf("ok: %-45s %10.3g (baseline %.3g, ceiling %.3g)\n", m.name, c, b, ceiling)
+			}
 			continue
 		}
 		floor := b * (1 - maxRegress)

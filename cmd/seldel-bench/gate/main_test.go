@@ -91,6 +91,55 @@ func TestEvaluateManifestMetric(t *testing.T) {
 	}
 }
 
+// TestEvaluateCostMetrics covers the lower-is-better guards: append
+// allocs/entry and group-commit fsyncs/block regress UPWARD, so the
+// gate must fail on increases and pass on decreases — the mirror image
+// of the rate metrics.
+func TestEvaluateCostMetrics(t *testing.T) {
+	withCosts := func(allocs, groupFsyncs float64) *experiments.PipelineReport {
+		r := report(10000, 50000)
+		if allocs > 0 {
+			r.HotPathResults = append(r.HotPathResults, experiments.HotPathResult{
+				Op: "append-allocs", Mode: "pipelined", AllocsPerEntry: allocs,
+			})
+		}
+		if groupFsyncs > 0 {
+			r.HotPathResults = append(r.HotPathResults, experiments.HotPathResult{
+				Op: "durability", Mode: "group", Producers: 16, FsyncsPerBlock: groupFsyncs,
+			})
+		}
+		return r
+	}
+	base := withCosts(10, 0.2)
+	// Costs dropping (improvement) and small increases inside the
+	// allowance both pass.
+	if fails := evaluate(base, withCosts(5, 0.1), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures on improvement: %v", fails)
+	}
+	if fails := evaluate(base, withCosts(12, 0.25), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures inside allowance: %v", fails)
+	}
+	// Allocations blowing past the ceiling is a regression.
+	fails := evaluate(base, withCosts(20, 0.2), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/entry") {
+		t.Fatalf("want one allocs/entry failure, got %v", fails)
+	}
+	// So is the group committer degenerating toward fsync-per-block.
+	fails = evaluate(base, withCosts(10, 0.9), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "fsyncs/block") {
+		t.Fatalf("want one fsyncs/block failure, got %v", fails)
+	}
+	// Candidate silently lost the hot-path dimension: both guards fire.
+	fails = evaluate(base, withCosts(0, 0), 0.30)
+	if len(fails) != 2 || !strings.Contains(fails[0], "missing from candidate") {
+		t.Fatalf("want two missing-metric failures, got %v", fails)
+	}
+	// Baseline without the dimension (pre-PR-7 file): skipped.
+	if fails := evaluate(withCosts(0, 0), withCosts(10, 0.2), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures vs old baseline: %v", fails)
+	}
+}
+
 func TestHardwareComparable(t *testing.T) {
 	same := func() *experiments.PipelineReport {
 		return &experiments.PipelineReport{GOOS: "linux", GOARCH: "amd64", NumCPU: 4}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/seldel/seldel/internal/experiments"
 )
@@ -31,8 +33,37 @@ func run(args []string) error {
 	id := fs.String("run", "", "run a single experiment by id (default: all)")
 	jsonPath := fs.String("json", "", "run the submission-pipeline benchmark and write machine-readable results to this file")
 	jsonN := fs.Int("json-entries", 4000, "entries per configuration for -json")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "seldel-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			// Settle the heap so the profile shows retained allocations,
+			// not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "seldel-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, e := range experiments.All() {
@@ -81,6 +112,26 @@ func run(args []string) error {
 				r.Op, r.Manifest, r.Rounds, r.Records, r.RatePerSec)
 		}
 		fmt.Printf("tombstone proofs: %.0f/sec\n", report.TombstoneProofsPerSec)
+		for _, r := range report.BatchVerifyResults {
+			fmt.Printf("verifybatch %-6s batch=%-3d warm=%.1f dup=%.1f sigs=%-5d %10.0f sigs/sec (ed25519=%d, hits=%d) %5.2fx\n",
+				r.Mode, r.BatchSize, r.WarmFrac, r.DupFrac, r.Sigs, r.SigsPerSec, r.Verified, r.CacheHits, r.Speedup)
+		}
+		fmt.Printf("batch verify (batch=16, warm 0.5) vs single-sig: %.2fx\n", report.BatchVerifySpeedup)
+		for _, r := range report.HotPathResults {
+			switch r.Op {
+			case "append-allocs":
+				fmt.Printf("hotpath allocs     producers=%-2d entries=%-6d %8.1f allocs/entry %8.0f bytes/entry %10.0f ops/sec\n",
+					r.Producers, r.Entries, r.AllocsPerEntry, r.BytesPerEntry, r.OpsPerSec)
+			case "durability":
+				fmt.Printf("hotpath durability mode=%-10s producers=%-2d blocks=%-5d fsyncs=%-5d %6.3f fsyncs/block %10.0f ops/sec\n",
+					r.Mode, r.Producers, r.Blocks, r.Fsyncs, r.FsyncsPerBlock, r.OpsPerSec)
+			}
+		}
+		if b := report.HotPathBaselinePR6; b != nil && b.AllocsPerEntry > 0 {
+			fmt.Printf("hotpath vs PR6 baseline (%s): allocs/entry %.1f -> %.1f, fsyncs/block (durable receipts) %.3f -> %.3f\n",
+				b.Commit, b.AllocsPerEntry, report.AppendAllocsPerOp,
+				b.FsyncsPerBlockSyncEvery, report.GroupFsyncsPerBlock)
+		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}

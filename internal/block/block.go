@@ -7,6 +7,7 @@ package block
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/seldel/seldel/internal/codec"
 	"github.com/seldel/seldel/internal/merkle"
@@ -72,6 +73,12 @@ type Header struct {
 // Encode returns the canonical header encoding.
 func (h *Header) Encode() []byte {
 	e := codec.NewEncoder(128)
+	h.encodeTo(e)
+	return e.Data()
+}
+
+// encodeTo appends the canonical header encoding to e.
+func (h *Header) encodeTo(e *codec.Encoder) {
 	e.String("seldel/header/v1")
 	e.Byte(byte(h.Kind))
 	e.Uint64(h.Number)
@@ -80,7 +87,6 @@ func (h *Header) Encode() []byte {
 	e.Hash(h.EntriesRoot)
 	e.Hash(h.SeqRefHash)
 	e.Uint64(h.Nonce)
-	return e.Data()
 }
 
 // Hash returns the block hash (hash of the canonical header encoding).
@@ -109,11 +115,24 @@ func (c CarriedEntry) Ref() Ref {
 // Encode returns the canonical encoding of the carried entry.
 func (c CarriedEntry) Encode() []byte {
 	e := codec.NewEncoder(64)
+	c.encodeTo(e)
+	return e.Data()
+}
+
+// AppendEncode appends the canonical carried-entry encoding to dst,
+// reusing its capacity.
+func (c CarriedEntry) AppendEncode(dst []byte) []byte {
+	e := codec.NewEncoderBuf(dst)
+	c.encodeTo(e)
+	return e.Data()
+}
+
+// encodeTo appends the canonical carried-entry encoding to e.
+func (c CarriedEntry) encodeTo(e *codec.Encoder) {
 	e.Uint64(c.OriginBlock)
 	e.Uint64(c.OriginTime)
 	e.Uint32(c.EntryNumber)
-	e.Bytes(c.Entry.Encode())
-	return e.Data()
+	e.Nested(c.Entry.encodeTo)
 }
 
 func decodeCarriedFrom(d *codec.Decoder) (CarriedEntry, error) {
@@ -121,7 +140,8 @@ func decodeCarriedFrom(d *codec.Decoder) (CarriedEntry, error) {
 	c.OriginBlock = d.Uint64()
 	c.OriginTime = d.Uint64()
 	c.EntryNumber = d.Uint32()
-	raw := d.Bytes()
+	// A view suffices: DecodeEntry copies every field it retains.
+	raw := d.View()
 	if err := d.Err(); err != nil {
 		return c, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
@@ -148,11 +168,16 @@ type SequenceRef struct {
 // Encode returns the canonical encoding.
 func (s *SequenceRef) Encode() []byte {
 	e := codec.NewEncoder(64)
+	s.encodeTo(e)
+	return e.Data()
+}
+
+// encodeTo appends the canonical sequence-reference encoding to e.
+func (s *SequenceRef) encodeTo(e *codec.Encoder) {
 	e.String("seldel/seqref/v1")
 	e.Uint64(s.FirstBlock)
 	e.Uint64(s.LastBlock)
 	e.Hash(s.Root)
-	return e.Data()
 }
 
 // Hash returns the commitment stored in Header.SeqRefHash.
@@ -185,16 +210,37 @@ func EntriesRoot(entries []*Entry) codec.Hash { return EntriesRootWith(nil, entr
 // hashing fanned out across r (nil runs serially). The root is
 // identical to EntriesRoot's.
 func EntriesRootWith(r merkle.Runner, entries []*Entry) codec.Hash {
-	leaves := make([][]byte, len(entries))
+	// The leaf encodings exist only to be hashed: encode each entry into
+	// a pooled scratch buffer, hash it, and hand the buffer on — no
+	// per-leaf allocation survives the loop.
+	hashes := make([]codec.Hash, len(entries))
 	if r != nil && len(entries) >= rootThreshold {
-		r.Each(len(entries), func(i int) { leaves[i] = entries[i].Encode() })
+		r.Each(len(entries), func(i int) {
+			bp := leafScratchPool.Get().(*[]byte)
+			*bp = entries[i].AppendEncode((*bp)[:0])
+			hashes[i] = merkle.HashLeaf(*bp)
+			leafScratchPool.Put(bp)
+		})
 	} else {
+		bp := leafScratchPool.Get().(*[]byte)
 		for i, e := range entries {
-			leaves[i] = e.Encode()
+			*bp = e.AppendEncode((*bp)[:0])
+			hashes[i] = merkle.HashLeaf(*bp)
 		}
+		leafScratchPool.Put(bp)
 	}
-	return merkle.BuildWith(r, leaves).Root()
+	return merkle.BuildFromHashes(hashes).Root()
 }
+
+// leafScratchPool holds encode buffers for commitment-root leaf
+// hashing; one buffer per worker in the fanned-out path.
+var leafScratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 
 // CarriedRoot computes the Merkle root over the canonical encodings of a
 // summary block's carried entries.
@@ -203,15 +249,23 @@ func CarriedRoot(carried []CarriedEntry) codec.Hash { return CarriedRootWith(nil
 // CarriedRootWith is CarriedRoot fanned out across r, like
 // EntriesRootWith.
 func CarriedRootWith(r merkle.Runner, carried []CarriedEntry) codec.Hash {
-	leaves := make([][]byte, len(carried))
+	hashes := make([]codec.Hash, len(carried))
 	if r != nil && len(carried) >= rootThreshold {
-		r.Each(len(carried), func(i int) { leaves[i] = carried[i].Encode() })
+		r.Each(len(carried), func(i int) {
+			bp := leafScratchPool.Get().(*[]byte)
+			*bp = carried[i].AppendEncode((*bp)[:0])
+			hashes[i] = merkle.HashLeaf(*bp)
+			leafScratchPool.Put(bp)
+		})
 	} else {
+		bp := leafScratchPool.Get().(*[]byte)
 		for i, c := range carried {
-			leaves[i] = c.Encode()
+			*bp = c.AppendEncode((*bp)[:0])
+			hashes[i] = merkle.HashLeaf(*bp)
 		}
+		leafScratchPool.Put(bp)
 	}
-	return merkle.BuildWith(r, leaves).Root()
+	return merkle.BuildFromHashes(hashes).Root()
 }
 
 // NewNormal assembles an unmined normal block on top of the given
@@ -327,19 +381,28 @@ func (b *Block) CheckShape() error {
 
 // Encode returns the full canonical block encoding (for gossip/storage).
 func (b *Block) Encode() []byte {
-	e := codec.NewEncoder(256)
-	e.Bytes(b.Header.Encode())
+	return b.AppendEncode(nil)
+}
+
+// AppendEncode appends the full canonical block encoding to dst and
+// returns the extended slice — the allocation-free form of Encode for
+// callers that bring their own (typically pooled) buffer. The bytes are
+// identical to Encode's: every nested structure is length-prefixed in
+// place instead of encoded separately and copied in.
+func (b *Block) AppendEncode(dst []byte) []byte {
+	e := codec.NewEncoderBuf(dst)
+	e.Nested(b.Header.encodeTo)
 	e.Uint32(uint32(len(b.Entries)))
 	for _, en := range b.Entries {
-		e.Bytes(en.Encode())
+		e.Nested(en.encodeTo)
 	}
 	e.Uint32(uint32(len(b.Carried)))
 	for _, c := range b.Carried {
-		e.Bytes(c.Encode())
+		e.Nested(c.encodeTo)
 	}
 	if b.SeqRef != nil {
 		e.Bool(true)
-		e.Bytes(b.SeqRef.Encode())
+		e.Nested(b.SeqRef.encodeTo)
 	} else {
 		e.Bool(false)
 	}
@@ -347,10 +410,12 @@ func (b *Block) Encode() []byte {
 }
 
 // DecodeBlock parses a canonical block encoding and verifies the header
-// commitments.
+// commitments. The nested structures are decoded through views into
+// data — each inner decoder copies what it retains, so the returned
+// block never aliases data and the input buffer may be pooled.
 func DecodeBlock(data []byte) (*Block, error) {
 	d := codec.NewDecoder(data)
-	rawHeader := d.Bytes()
+	rawHeader := d.View()
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
@@ -367,7 +432,7 @@ func DecodeBlock(data []byte) (*Block, error) {
 		return nil, fmt.Errorf("%w: %d entries", ErrDecode, nEntries)
 	}
 	for i := uint32(0); i < nEntries; i++ {
-		raw := d.Bytes()
+		raw := d.View()
 		if err := d.Err(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 		}
@@ -385,7 +450,7 @@ func DecodeBlock(data []byte) (*Block, error) {
 		return nil, fmt.Errorf("%w: %d carried entries", ErrDecode, nCarried)
 	}
 	for i := uint32(0); i < nCarried; i++ {
-		raw := d.Bytes()
+		raw := d.View()
 		if err := d.Err(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 		}
@@ -396,7 +461,7 @@ func DecodeBlock(data []byte) (*Block, error) {
 		b.Carried = append(b.Carried, c)
 	}
 	if d.Bool() {
-		raw := d.Bytes()
+		raw := d.View()
 		if err := d.Err(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 		}

@@ -137,9 +137,12 @@ func (e *Entry) WithDependsOn(refs ...Ref) *Entry {
 const signingDomain = "seldel/entry/v1"
 
 // SigningBytes returns the canonical bytes signed by the entry owner:
-// everything except Signature and CoSigners.
+// everything except Signature and CoSigners. The capacity covers every
+// fixed field plus the variable ones, so the buffer is allocated once
+// and never grows — this runs twice per entry on the hot path (mempool
+// warm, then sealing validation).
 func (e *Entry) SigningBytes() []byte {
-	enc := codec.NewEncoder(64 + len(e.Payload))
+	enc := codec.NewEncoder(96 + len(e.Payload) + len(e.Owner) + 12*len(e.DependsOn))
 	enc.String(signingDomain)
 	enc.Byte(byte(e.Kind))
 	enc.Bytes(e.Payload)
@@ -246,7 +249,32 @@ func (e *Entry) ExpiredAt(now uint64, blockNum uint64) bool {
 
 // Encode returns the full canonical encoding including signatures.
 func (e *Entry) Encode() []byte {
-	enc := codec.NewEncoder(96 + len(e.Payload))
+	enc := codec.NewEncoder(encodedCap(e))
+	e.encodeTo(enc)
+	return enc.Data()
+}
+
+// AppendEncode appends the full canonical encoding to dst, reusing its
+// capacity — the allocation-free form of Encode for callers that hash
+// or copy the bytes before dst is reused.
+func (e *Entry) AppendEncode(dst []byte) []byte {
+	enc := codec.NewEncoderBuf(dst)
+	e.encodeTo(enc)
+	return enc.Data()
+}
+
+// encodedCap over-estimates the encoded size so Encode's buffer never
+// grows mid-encode.
+func encodedCap(e *Entry) int {
+	n := 192 + len(e.Payload) + len(e.Owner) + 12*len(e.DependsOn)
+	for _, cs := range e.CoSigners {
+		n += 80 + len(cs.Name)
+	}
+	return n
+}
+
+// encodeTo appends the full canonical entry encoding to enc.
+func (e *Entry) encodeTo(enc *codec.Encoder) {
 	enc.Byte(byte(e.Kind))
 	enc.Bytes(e.Payload)
 	enc.String(e.Owner)
@@ -265,7 +293,6 @@ func (e *Entry) Encode() []byte {
 		enc.String(cs.Name)
 		enc.Bytes(cs.Signature)
 	}
-	return enc.Data()
 }
 
 // decodeEntryFrom reads one entry from d.

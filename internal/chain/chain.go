@@ -99,6 +99,12 @@ type Config struct {
 	// batch once the submission stream goes idle. 0 flushes immediately
 	// on idle (lowest latency; batches still fill under load).
 	BatchLinger time.Duration
+	// Durability selects when submission receipts resolve relative to
+	// the store's durability point: the zero value resolves at seal
+	// time (durability follows the store's policy), DurabilityGroup
+	// holds receipts until a group fsync confirmed their blocks on
+	// stable storage — many sealed blocks per sync under load.
+	Durability Durability
 	// Compaction parameterizes the background compactor that executes
 	// the physical side of truncation (memory release, dependency-graph
 	// sweep, store pruning via OnTruncate) off the append path. The
@@ -138,6 +144,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Verifier == nil {
 		cfg.Verifier = verify.Shared()
+	}
+	if err := cfg.Durability.validate(); err != nil {
+		return cfg, err
 	}
 	return cfg, nil
 }
@@ -291,6 +300,10 @@ type Chain struct {
 	pipeMu     sync.Mutex
 	pipe       atomic.Pointer[mempool.Batcher]
 	pipeClosed bool
+	// gc is the group-commit committer (DurabilityGroup only), started
+	// with the pipeline and closed strictly after it so every sealed
+	// batch's resolution reaches its final sync.
+	gc *groupCommitter
 
 	// comp is the lazily started background compactor executing the
 	// physical side of truncation; same lifecycle discipline as pipe.

@@ -106,6 +106,13 @@ func (c *Chain) pipeline() (*mempool.Batcher, error) {
 			c.cfg.Verifier.Warm(c.cfg.Registry, entries)
 		}
 	}
+	if c.cfg.Durability.Mode == DurabilityGroup {
+		// Group commit: sealed batches hand their receipt resolution to
+		// the committer, which shares one store fsync across everything
+		// sealed since the previous sync.
+		c.gc = newGroupCommitter(c.cfg.Durability.Sync, c.cfg.Durability.GroupWindow)
+		opts.Durable = c.gc.enqueue
+	}
 	b := mempool.NewBatcher(sealer{c}, opts)
 	c.pipe.Store(b)
 	return b, nil
@@ -176,6 +183,15 @@ func (c *Chain) Close() error {
 	var err error
 	if b != nil {
 		err = b.Close()
+	}
+	// The committer closes after the batcher has fully drained: its
+	// queue then holds every not-yet-durable batch, and Close issues
+	// their final sync before the owned store shuts down below.
+	c.pipeMu.Lock()
+	gc := c.gc
+	c.pipeMu.Unlock()
+	if gc != nil {
+		gc.Close()
 	}
 	c.compMu.Lock()
 	c.compClosed = true

@@ -106,6 +106,13 @@ func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
 }
 
+// NewEncoderBuf returns an encoder that appends to buf, reusing its
+// capacity — the bring-your-own-buffer constructor for pooled encode
+// paths. Data returns buf extended with everything encoded.
+func NewEncoderBuf(buf []byte) *Encoder {
+	return &Encoder{buf: buf}
+}
+
 // Uint64 appends v as 8 big-endian bytes.
 func (e *Encoder) Uint64(v uint64) {
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
@@ -141,6 +148,19 @@ func (e *Encoder) Bytes(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Nested appends a uint32-length-prefixed field whose content fn
+// encodes directly into this encoder's buffer — the in-place form of
+// Bytes(sub.Encode()) for nested structures: the length prefix is
+// reserved up front and backfilled once fn returns, so the nested
+// encoding never materializes in a separate allocation. The resulting
+// bytes are identical to Bytes over the separately encoded content.
+func (e *Encoder) Nested(fn func(*Encoder)) {
+	at := len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	fn(e)
+	binary.BigEndian.PutUint32(e.buf[at:at+4], uint32(len(e.buf)-at-4))
+}
+
 // String appends s with a uint32 length prefix.
 func (e *Encoder) String(s string) {
 	e.Uint32(uint32(len(s)))
@@ -154,6 +174,10 @@ func (e *Encoder) Hash(h Hash) {
 
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded bytes, keeping the buffer's capacity for
+// reuse. Any slice previously returned by Data is invalidated.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Data returns the encoded bytes. The returned slice aliases the
 // encoder's internal buffer; callers must not mutate it.
@@ -243,6 +267,21 @@ func (d *Decoder) Bool() bool {
 // Bytes reads a uint32 length prefix followed by that many bytes.
 // The returned slice is a copy and safe to retain.
 func (d *Decoder) Bytes() []byte {
+	b := d.View()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// View reads a uint32 length prefix followed by that many bytes,
+// returning a view into the decoder's input with no copy. The view
+// aliases (and keeps alive) the decoded data; use it for nested
+// structures that are immediately re-decoded — the inner decoder copies
+// whatever it retains — and fall back to Bytes for fields stored as-is.
+func (d *Decoder) View() []byte {
 	n := d.Uint32()
 	if d.err != nil {
 		return nil
@@ -251,13 +290,7 @@ func (d *Decoder) Bytes() []byte {
 		d.err = fmt.Errorf("codec: field length %d exceeds limit", n)
 		return nil
 	}
-	b := d.take(int(n))
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
+	return d.take(int(n))
 }
 
 // ReadString reads a uint32 length prefix followed by that many bytes.

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestHotPathDimension sanity-checks the hot-path measurement harness:
+// the allocation row must report a positive per-entry cost, per-block
+// sync must fsync at least once per block, and the group-commit row
+// must both keep receipts durable (fsyncs > 0) and amortize — strictly
+// fewer fsyncs per block than sync-every. SELDEL_HOTPATH_N overrides
+// the workload size for manual baseline runs.
+func TestHotPathDimension(t *testing.T) {
+	n := 600
+	if s := os.Getenv("SELDEL_HOTPATH_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("SELDEL_HOTPATH_N=%q: %v", s, err)
+		}
+		n = v
+	}
+	rows, err := measureHotPathDimension(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]HotPathResult{}
+	var alloc HotPathResult
+	for _, r := range rows {
+		t.Logf("%s %s producers=%d entries=%d blocks=%d allocs/entry=%.1f bytes/entry=%.0f fsyncs=%d fsyncs/block=%.3f ops/sec=%.0f",
+			r.Op, r.Mode, r.Producers, r.Entries, r.Blocks, r.AllocsPerEntry, r.BytesPerEntry, r.Fsyncs, r.FsyncsPerBlock, r.OpsPerSec)
+		if r.Op == "durability" {
+			byMode[r.Mode] = r
+		} else {
+			alloc = r
+		}
+	}
+	if alloc.Entries == 0 || alloc.AllocsPerEntry <= 0 {
+		t.Fatalf("allocation row missing or non-positive: %+v", alloc)
+	}
+	se, ok := byMode["sync-every"]
+	if !ok || se.FsyncsPerBlock < 1 {
+		t.Fatalf("sync-every should fsync at least once per block: %+v", se)
+	}
+	g, ok := byMode["group"]
+	if !ok || g.Fsyncs == 0 {
+		t.Fatalf("group mode must still fsync (receipts resolve at durability): %+v", g)
+	}
+	if g.FsyncsPerBlock >= se.FsyncsPerBlock {
+		t.Fatalf("group commit did not amortize: group %.3f vs sync-every %.3f fsyncs/block",
+			g.FsyncsPerBlock, se.FsyncsPerBlock)
+	}
+}

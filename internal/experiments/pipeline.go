@@ -103,6 +103,29 @@ type PipelineReport struct {
 	// fsynced record append's overhead) and tombstone proofs built and
 	// verified per second.
 	ManifestResults []ManifestResult `json:"manifest_results"`
+	// BatchVerifyResults is the batch-verification dimension (PR 7):
+	// signature-check throughput through the per-signature path vs the
+	// accumulate-then-verify Batch under cold, cache-warmed, and
+	// duplicate-heavy traffic.
+	BatchVerifyResults []BatchVerifyResult `json:"batch_verify_results,omitempty"`
+	// BatchVerifySpeedup is the headline batch win: the 16-signature
+	// warm-0.5 batch row's throughput over the single-signature row.
+	BatchVerifySpeedup float64 `json:"batch_verify_speedup,omitempty"`
+	// HotPathResults is the hot-path dimension (PR 7): allocations per
+	// entry through the pipelined append path, and fsyncs per block at
+	// 16 producers under each durability mode (roll-only, per-block
+	// sync, group commit).
+	HotPathResults []HotPathResult `json:"hotpath_results,omitempty"`
+	// HotPathBaselinePR6 pins the same harness's numbers at the PR 6
+	// HEAD, so the report carries its own before/after comparison.
+	HotPathBaselinePR6 *HotPathBaseline `json:"hotpath_baseline_pr6,omitempty"`
+	// AppendAllocsPerOp is the pipelined append path's allocations per
+	// entry — the headline the bench gate guards (lower is better).
+	AppendAllocsPerOp float64 `json:"append_allocs_per_op,omitempty"`
+	// GroupFsyncsPerBlock is the group-commit durability row's fsyncs
+	// per block at 16 producers (lower is better; receipts resolve only
+	// at the durability point in this mode).
+	GroupFsyncsPerBlock float64 `json:"group_fsyncs_per_block,omitempty"`
 	// TombstoneProofsPerSec is the manifest proofs row's rate — the
 	// headline audit-query metric the bench gate guards.
 	TombstoneProofsPerSec float64 `json:"tombstone_proofs_per_sec"`
@@ -381,6 +404,28 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	}
 	report.ManifestResults = mr
 	report.TombstoneProofsPerSec = proofRate
+
+	br, batchSpeedup, err := measureBatchVerifyDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.BatchVerifyResults = br
+	report.BatchVerifySpeedup = batchSpeedup
+
+	hr, err := measureHotPathDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.HotPathResults = hr
+	report.HotPathBaselinePR6 = &hotPathBaselinePR6
+	for _, r := range hr {
+		switch {
+		case r.Op == "append-allocs":
+			report.AppendAllocsPerOp = r.AllocsPerEntry
+		case r.Op == "durability" && r.Mode == "group":
+			report.GroupFsyncsPerBlock = r.FsyncsPerBlock
+		}
+	}
 	return report, nil
 }
 

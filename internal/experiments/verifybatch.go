@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"github.com/seldel/seldel/internal/identity"
+)
+
+// This file is the batch-verification dimension of `seldel-bench -json`
+// (PR 7): raw signature-check throughput through the per-signature path
+// versus the accumulate-then-verify Batch, under the traffic shapes the
+// chain actually sees. The "single" row is the floor — one cache-less
+// VerifySig per signature, the cost a naive verifier pays. Batch rows
+// run the deployed machinery (cache screen, in-batch dedup, chunked
+// aggregate verify) against workloads with a warm fraction (mempool
+// Warm pre-verified the entries before sealing re-checks them) and a
+// duplicate fraction (gossip re-delivers the same signed entry within
+// one intake batch). Cold distinct-signature batches are expected to
+// sit near 1.0x — Ed25519 dominates and the batch then only amortizes
+// dispatch — and are reported as-is; the speedups come from the screen
+// and the dedup, which only the batch path can apply wholesale.
+
+// BatchVerifyResult is one measured batch-verification configuration.
+type BatchVerifyResult struct {
+	// Mode is "single" (per-signature VerifySig, cache off) or "batch"
+	// (Batch accumulate-then-verify, cache on).
+	Mode string `json:"mode"`
+	// BatchSize is the signatures accumulated per Verify call (1 for
+	// the single row).
+	BatchSize int `json:"batch_size"`
+	// WarmFrac is the fraction of the workload pre-verified into the
+	// cache before the measured section (0 = cold).
+	WarmFrac float64 `json:"warm_frac"`
+	// DupFrac is the fraction of each batch that repeats an earlier
+	// tuple of the same batch (gossip re-delivery).
+	DupFrac float64 `json:"dup_frac"`
+	// Sigs is the number of signature checks resolved in the measured
+	// section.
+	Sigs int `json:"sigs"`
+	// Verified / CacheHits are the pool's counters over the measured
+	// section: curve operations actually paid and checks answered by
+	// the cache screen.
+	Verified  uint64 `json:"verified"`
+	CacheHits uint64 `json:"cache_hits"`
+	// Seconds / SigsPerSec time the measured section.
+	Seconds    float64 `json:"seconds"`
+	SigsPerSec float64 `json:"sigs_per_sec"`
+	// Speedup is SigsPerSec over the single row's.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// batchSig is one pre-signed check of the bench workload.
+type batchSig struct {
+	pub ed25519.PublicKey
+	msg []byte
+	sig []byte
+}
+
+// batchVerifySigs pre-signs n distinct messages across 32 deterministic
+// signers, keeping signing cost out of every measured section.
+func batchVerifySigs(n int) []batchSig {
+	const signers = 32
+	keys := make([]*identity.KeyPair, signers)
+	for i := range keys {
+		keys[i] = identity.Deterministic(fmt.Sprintf("batch-signer-%d", i), "seldel-experiments")
+	}
+	out := make([]batchSig, n)
+	for i := range out {
+		kp := keys[i%signers]
+		msg := []byte(fmt.Sprintf("batch-load-%06d", i))
+		out[i] = batchSig{pub: kp.Public(), msg: msg, sig: kp.Sign(msg)}
+	}
+	return out
+}
+
+// batchVerifyConfigs are the measured configurations. batch=16 matches
+// the chunk size (one aggregate call per batch); batch=64 is the
+// restore/intake shape (several chunks fan out per batch).
+var batchVerifyConfigs = []struct {
+	mode  string
+	batch int
+	warm  float64
+	dup   float64
+}{
+	{"single", 1, 0, 0},
+	{"batch", 16, 0, 0},
+	{"batch", 64, 0, 0},
+	{"batch", 16, 0.5, 0},
+	{"batch", 64, 0.5, 0},
+	{"batch", 64, 0, 0.5},
+}
+
+// runBatchVerify drives one configuration once and returns the row.
+// The pool is fresh per run so no configuration inherits another's
+// cache; the warm fraction is re-verified into it before timing starts.
+func runBatchVerify(sigs []batchSig, mode string, batchSize int, warm, dup float64) (BatchVerifyResult, error) {
+	pool := freshPool(0, mode != "single")
+	defer pool.Close()
+	warmN := int(warm * float64(len(sigs)))
+	for _, s := range sigs[:warmN] {
+		if !pool.VerifySig(s.pub, s.msg, s.sig) {
+			return BatchVerifyResult{}, fmt.Errorf("verifybatch: warm signature rejected")
+		}
+	}
+	s0 := pool.Stats()
+	var n int
+	start := time.Now()
+	switch mode {
+	case "single":
+		for _, s := range sigs {
+			if !pool.VerifySig(s.pub, s.msg, s.sig) {
+				return BatchVerifyResult{}, fmt.Errorf("verifybatch: single-path signature rejected")
+			}
+			n++
+		}
+	case "batch":
+		// dup > 0 replaces the tail of each batch with re-deliveries of
+		// its own head, keeping the adds-per-batch constant.
+		fresh := batchSize - int(dup*float64(batchSize))
+		for lo := 0; lo < len(sigs); lo += fresh {
+			hi := lo + fresh
+			if hi > len(sigs) {
+				hi = len(sigs)
+			}
+			b := pool.NewBatch(batchSize)
+			for _, s := range sigs[lo:hi] {
+				b.Add(s.pub, s.msg, s.sig)
+			}
+			for i := b.Len(); i < batchSize && dup > 0; i++ {
+				s := sigs[lo+i%(hi-lo)]
+				b.Add(s.pub, s.msg, s.sig)
+			}
+			n += b.Len()
+			for i, ok := range b.Verify() {
+				if !ok {
+					return BatchVerifyResult{}, fmt.Errorf("verifybatch: batch signature %d rejected", i)
+				}
+			}
+		}
+	default:
+		return BatchVerifyResult{}, fmt.Errorf("verifybatch: unknown mode %q", mode)
+	}
+	elapsed := time.Since(start).Seconds()
+	s1 := pool.Stats()
+	return BatchVerifyResult{
+		Mode:       mode,
+		BatchSize:  batchSize,
+		WarmFrac:   warm,
+		DupFrac:    dup,
+		Sigs:       n,
+		Verified:   s1.Verified - s0.Verified,
+		CacheHits:  s1.CacheHits - s0.CacheHits,
+		Seconds:    elapsed,
+		SigsPerSec: float64(n) / elapsed,
+	}, nil
+}
+
+// measureBatchVerifyDimension runs every configuration best-of-three
+// over n signatures and returns the rows plus the headline speedup:
+// the 16-signature warm-0.5 batch over the single row — the production
+// shape (mempool-warmed sealing validation) at the acceptance bar's
+// minimum batch width.
+func measureBatchVerifyDimension(n int) ([]BatchVerifyResult, float64, error) {
+	sigs := batchVerifySigs(n)
+	out := make([]BatchVerifyResult, 0, len(batchVerifyConfigs))
+	var single float64
+	var headline float64
+	for _, cfg := range batchVerifyConfigs {
+		var best BatchVerifyResult
+		for i := 0; i < 3; i++ {
+			r, err := runBatchVerify(sigs, cfg.mode, cfg.batch, cfg.warm, cfg.dup)
+			if err != nil {
+				return nil, 0, err
+			}
+			if r.SigsPerSec > best.SigsPerSec {
+				best = r
+			}
+		}
+		if cfg.mode == "single" {
+			single = best.SigsPerSec
+		}
+		if single > 0 {
+			best.Speedup = best.SigsPerSec / single
+		}
+		if cfg.mode == "batch" && cfg.batch == 16 && cfg.warm == 0.5 {
+			headline = best.Speedup
+		}
+		out = append(out, best)
+	}
+	return out, headline, nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestBatchVerifyDimension sanity-checks the batch-verification bench:
+// every configured row must appear with consistent counters, the
+// cache-warmed rows must actually answer from the cache, the duplicate
+// row must collapse re-deliveries before the curve, and the headline
+// (batch-16 at warm 0.5 vs the single path) must show a real win —
+// the 1.5x acceptance bar is asserted loosely here (>1.2) to keep CI
+// robust to noise; BENCH_PR7.json carries the measured number.
+func TestBatchVerifyDimension(t *testing.T) {
+	rows, headline, err := measureBatchVerifyDimension(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(batchVerifyConfigs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(batchVerifyConfigs))
+	}
+	for _, r := range rows {
+		t.Logf("%s batch=%d warm=%.1f dup=%.1f sigs=%d verified=%d hits=%d sigs/sec=%.0f speedup=%.2f",
+			r.Mode, r.BatchSize, r.WarmFrac, r.DupFrac, r.Sigs, r.Verified, r.CacheHits, r.SigsPerSec, r.Speedup)
+		if r.Sigs == 0 || r.SigsPerSec <= 0 {
+			t.Fatalf("empty measurement: %+v", r)
+		}
+		if r.Mode == "single" && r.Verified != uint64(r.Sigs) {
+			t.Fatalf("single row must pay the curve per signature: %+v", r)
+		}
+		if r.WarmFrac > 0 && r.CacheHits == 0 {
+			t.Fatalf("warm row saw no cache hits: %+v", r)
+		}
+		if r.DupFrac > 0 && r.Verified >= uint64(r.Sigs) {
+			t.Fatalf("duplicate row did not collapse re-deliveries: %+v", r)
+		}
+	}
+	if headline <= 1.2 {
+		t.Fatalf("batch-16 warm-0.5 speedup %.2f, want > 1.2 (acceptance bar is 1.5)", headline)
+	}
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// cache) while the batch is still being assembled. Failures are
 	// ignored here; sealing re-validates authoritatively.
 	Warm func(entries []*block.Entry)
+	// Durable, when set, defers receipt resolution to the durability
+	// point: after a successful seal the batch's resolution closure is
+	// handed to Durable instead of running inline, and the installed
+	// committer must run every closure exactly once — with nil once the
+	// sealed blocks reached stable storage (receipts resolve), or with
+	// the sync failure (receipts fail). Sealing is not delayed; only
+	// the receipts are.
+	Durable func(resolve func(err error))
 }
 
 // group is the unit of submission: all entries of one Submit call, each
@@ -51,6 +59,16 @@ type Options struct {
 type group struct {
 	entries []*block.Entry
 	tickets []*ticket
+}
+
+// singleSubmission backs a one-entry Submit with a single allocation:
+// the group's slices, the caller's receipt slice, and the ticket all
+// point into this struct.
+type singleSubmission struct {
+	t        ticket
+	entries  [1]*block.Entry
+	tickets  [1]*ticket
+	receipts [1]Receipt
 }
 
 // Stats are pipeline counters and backpressure gauges.
@@ -107,6 +125,7 @@ type Batcher struct {
 	maxBatch int
 	linger   time.Duration
 	warm     func([]*block.Entry)
+	durable  func(func(error))
 
 	// mu guards closed; Submit holds it shared for the duration of its
 	// channel sends so Close (exclusive) cannot observe closed=true while
@@ -148,6 +167,7 @@ func NewBatcher(ledger Ledger, opts Options) *Batcher {
 		maxBatch: maxBatch,
 		linger:   opts.Linger,
 		warm:     opts.Warm,
+		durable:  opts.Durable,
 		ch:       make(chan group, depth),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -175,15 +195,30 @@ func (b *Batcher) Submit(ctx context.Context, entries ...*block.Entry) ([]Receip
 	if b.closed {
 		return nil, ErrClosed
 	}
-	g := group{
-		entries: append([]*block.Entry(nil), entries...),
-		tickets: make([]*ticket, len(entries)),
-	}
-	receipts := make([]Receipt, len(entries))
-	for i := range entries {
-		t := newTicket()
-		g.tickets[i] = t
-		receipts[i] = Receipt{t: t}
+	var g group
+	var receipts []Receipt
+	if len(entries) == 1 {
+		// The dominant shape — one producer, one entry per call — packs
+		// every per-submit allocation into a single object: the ticket
+		// and the backing arrays of the group's and the caller's slices.
+		s := &singleSubmission{}
+		s.t.done = make(chan struct{})
+		s.entries[0] = entries[0]
+		s.tickets[0] = &s.t
+		s.receipts[0] = Receipt{t: &s.t}
+		g = group{entries: s.entries[:], tickets: s.tickets[:]}
+		receipts = s.receipts[:]
+	} else {
+		g = group{
+			entries: append([]*block.Entry(nil), entries...),
+			tickets: make([]*ticket, len(entries)),
+		}
+		receipts = make([]Receipt, len(entries))
+		for i := range entries {
+			t := newTicket()
+			g.tickets[i] = t
+			receipts[i] = Receipt{t: t}
+		}
 	}
 	if b.warm != nil {
 		// Pre-verify while the group waits for its batch: the warm hook
@@ -350,20 +385,37 @@ func (b *Batcher) flush(batch []group) {
 			// would seal duplicates, so resolve the receipts now.
 			sealed := blocks[0]
 			num, hash := sealed.Header.Number, sealed.Hash()
-			for i, t := range tickets {
-				mark := MarkNone
-				if i < len(outcomes) {
-					mark = outcomes[i]
+			resolve := func(syncErr error) {
+				if syncErr != nil {
+					// The blocks sealed but never became durable (the
+					// group fsync failed): receipts must not claim
+					// durability, so they fail with the sync error.
+					for _, t := range tickets {
+						t.fail(syncErr)
+					}
+					b.rejected.Add(uint64(len(tickets)))
+					return
 				}
-				t.resolve(Sealed{
-					Ref:       block.Ref{Block: num, Entry: uint32(i)},
-					Block:     num,
-					BlockHash: hash,
-					Mark:      mark,
-				})
+				for i, t := range tickets {
+					mark := MarkNone
+					if i < len(outcomes) {
+						mark = outcomes[i]
+					}
+					t.resolve(Sealed{
+						Ref:       block.Ref{Block: num, Entry: uint32(i)},
+						Block:     num,
+						BlockHash: hash,
+						Mark:      mark,
+					})
+				}
+				b.entries.Add(uint64(len(tickets)))
 			}
 			b.batches.Add(1)
-			b.entries.Add(uint64(len(entries)))
+			if b.durable != nil {
+				b.durable(resolve)
+			} else {
+				resolve(nil)
+			}
 			return
 		}
 		if err == nil {

@@ -9,11 +9,14 @@ package segment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/seldel/seldel/internal/block"
 	"github.com/seldel/seldel/internal/chain"
@@ -367,6 +370,160 @@ func TestRestoreAfterTornTailOnChain(t *testing.T) {
 	defer c2.Close()
 	if got := c2.Head().Number; got != headBefore-1 {
 		t.Errorf("restored head %d, want last durable block %d", got, headBefore-1)
+	}
+	if err := c2.VerifyIntegrity(); err != nil {
+		t.Errorf("restored chain integrity: %v", err)
+	}
+}
+
+// TestGroupCommitCrashSemantics pins the group-commit receipt contract
+// across a crash: receipts that resolved durable name only blocks the
+// disk actually has, and blocks lost with the unsynced tail never
+// resolved a receipt. The test interposes on the store's Sync so it can
+// hold the group fsync in flight, crash it, and then cut the segment
+// file back to the last completed sync — the state a real power cut
+// between seal and fsync leaves behind.
+func TestGroupCommitCrashSemantics(t *testing.T) {
+	dir := t.TempDir()
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("writer", "group-crash")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	ss := open(t, dir, Options{})
+
+	var (
+		gateMu  sync.Mutex
+		hold    chan struct{} // non-nil: syncs block until it closes
+		crashed error         // non-nil: syncs fail without touching the disk
+		syncs   int
+	)
+	syncFn := func() error {
+		gateMu.Lock()
+		h := hold
+		gateMu.Unlock()
+		if h != nil {
+			<-h
+		}
+		gateMu.Lock()
+		err := crashed
+		if err == nil {
+			syncs++
+		}
+		gateMu.Unlock()
+		if err != nil {
+			return err
+		}
+		return ss.Sync()
+	}
+
+	cfg := chain.Config{
+		SequenceLength: 100,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+		Durability: chain.Durability{
+			Mode: chain.DurabilityGroup,
+			Sync: syncFn,
+		},
+	}
+	c, err := chain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Attach(c, ss); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Phase A: in group mode a resolved receipt means the block's bytes
+	// were fsynced, so everything sealed here must survive the crash.
+	for i := 0; i < 5; i++ {
+		e := block.NewData("writer", []byte(fmt.Sprintf("durable-%d", i))).Sign(kp)
+		if _, err := c.SubmitWait(ctx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gateMu.Lock()
+	phaseASyncs := syncs
+	gateMu.Unlock()
+	if phaseASyncs == 0 {
+		t.Fatal("group receipts resolved without any sync")
+	}
+	headDurable := c.Head().Number
+	segPath := lastSegmentPath(t, dir)
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durableSize := info.Size()
+
+	// Phase B: hold the group fsync and submit. The block seals and its
+	// record lands in the segment file, but the receipt must stay
+	// pending — sealed is not durable under DurabilityGroup.
+	gateMu.Lock()
+	hold = make(chan struct{})
+	gateMu.Unlock()
+	lost := block.NewData("writer", []byte("lost-in-crash")).Sign(kp)
+	receipts, err := c.Submit(ctx, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Head().Number == headDurable {
+		if time.Now().After(deadline) {
+			t.Fatal("block never sealed while the sync was held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sealedInfo, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealedInfo.Size() <= durableSize {
+		t.Fatalf("sealed block not in the segment file (size %d, durable prefix %d)", sealedInfo.Size(), durableSize)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	_, werr := receipts[0].Wait(shortCtx)
+	cancel()
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("receipt resolved before the group fsync: %v", werr)
+	}
+
+	// Crash: the held fsync never completes, and no later sync (including
+	// the drain in Close) reaches the disk. The receipt must resolve with
+	// the failure, never claiming durability for a block the disk lacks.
+	errCrash := errors.New("simulated crash before group fsync")
+	gateMu.Lock()
+	crashed = errCrash
+	close(hold)
+	hold = nil
+	gateMu.Unlock()
+	if _, err := receipts[0].Wait(ctx); !errors.Is(err, errCrash) {
+		t.Fatalf("receipt after crashed sync: %v, want %v", err, errCrash)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close fsyncs whatever the OS still buffered, so restore the crash
+	// state by hand: everything past the last completed group sync never
+	// reached stable storage.
+	if err := os.Truncate(segPath, durableSize); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Durability = chain.Durability{}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	c2, _, err := store.OpenChain(cfg, s2)
+	if err != nil {
+		t.Fatalf("restore after group-commit crash: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Head().Number; got != headDurable {
+		t.Errorf("restored head %d, want %d (exactly the group-synced prefix)", got, headDurable)
 	}
 	if err := c2.VerifyIntegrity(); err != nil {
 		t.Errorf("restored chain integrity: %v", err)

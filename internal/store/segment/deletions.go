@@ -1,10 +1,8 @@
 package segment
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -181,17 +179,8 @@ func scanSegmentFile(id uint64, path string) (SegmentInfo, error) {
 	}
 	good := int64(len(segMagic))
 	for {
-		rest := raw[good:]
-		if len(rest) < recHeaderSize {
-			break
-		}
-		num := binary.LittleEndian.Uint64(rest[0:8])
-		n := binary.LittleEndian.Uint32(rest[8:12])
-		sum := binary.LittleEndian.Uint32(rest[12:16])
-		if n > maxRecordBytes || len(rest) < recHeaderSize+int(n) {
-			break
-		}
-		if crc32.ChecksumIEEE(rest[recHeaderSize:recHeaderSize+int(n)]) != sum {
+		num, _, span, ok := parseRecord(raw[good:])
+		if !ok {
 			break
 		}
 		if si.Records == 0 || num < si.First {
@@ -201,7 +190,7 @@ func scanSegmentFile(id uint64, path string) (SegmentInfo, error) {
 			si.Last = num
 		}
 		si.Records++
-		good += recHeaderSize + int64(n)
+		good += int64(span)
 	}
 	si.Torn = good < int64(len(raw))
 	return si, nil

@@ -10,10 +10,14 @@
 // the blockchain" (§IV-C) must reclaim bytes, not just unreachability —
 // while amortizing the filesystem cost:
 //
-//   - Appends go to the tail of the active segment file (one buffered
-//     write, fsync per append only when Options.SyncEvery is set;
-//     otherwise the store syncs on segment roll, truncation, snapshot,
-//     and Close).
+//   - Appends go to the tail of the active segment file: the record is
+//     framed in a pooled buffer (one write syscall, no per-append heap
+//     allocation at steady state) and fsynced per append only when
+//     Options.SyncEvery is set. Otherwise the store syncs on segment
+//     roll, truncation, snapshot, and Close — and on demand via Sync,
+//     which is the hook the chain's group-commit durability mode uses
+//     to make many appended blocks durable with one fsync before their
+//     receipts resolve.
 //   - An in-memory offset index maps block numbers to (segment,
 //     offset), so reads are one pread.
 //   - Sealed segments' read handles live in an LRU capped by

@@ -1,0 +1,98 @@
+package segment
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sync"
+
+	"github.com/seldel/seldel/internal/block"
+)
+
+// This file is the single definition of the on-disk record format: a
+// fixed little-endian header (block number u64, payload length u32,
+// payload CRC-32 u32) followed by the canonical block encoding. The
+// append path (PutBlock), the compaction rewrite (rewriteSegmentLocked),
+// the recovery scan (openSegment), and the read-only inspector
+// (scanSegmentFile) all go through the helpers here — a record written
+// by any of them must be recoverable by all of them.
+//
+// Records are built in pooled scratch buffers: the block encodes
+// in place after a reserved header (block.AppendEncode), the header is
+// backfilled, and the buffer returns to the pool once the bytes are on
+// disk. Steady-state appends therefore allocate nothing per record.
+
+// recordBuf is a pooled scratch buffer for building one on-disk record.
+type recordBuf struct {
+	b []byte
+}
+
+// maxPooledRecordBytes caps the capacity a scratch buffer may keep when
+// returned to the pool, so one oversized block does not pin megabytes
+// for the lifetime of the process.
+const maxPooledRecordBytes = 1 << 20
+
+var recordBufPool = sync.Pool{New: func() any { return new(recordBuf) }}
+
+func getRecordBuf() *recordBuf { return recordBufPool.Get().(*recordBuf) }
+
+func putRecordBuf(rb *recordBuf) {
+	if cap(rb.b) <= maxPooledRecordBytes {
+		recordBufPool.Put(rb)
+	}
+}
+
+// sized resizes the buffer to hold a record with an n-byte payload and
+// returns the full record slice. The caller fills rec[recHeaderSize:]
+// and then stamps the header with fillRecordHeader.
+func (rb *recordBuf) sized(n int) []byte {
+	need := recHeaderSize + n
+	if cap(rb.b) < need {
+		rb.b = make([]byte, need)
+	}
+	rb.b = rb.b[:need]
+	return rb.b
+}
+
+// appendBlockRecord encodes b as one complete on-disk record into rb:
+// header space is reserved up front, the block encodes directly behind
+// it, and the header is backfilled from the finished payload. Returns
+// the record (aliasing rb's buffer, valid until the next use of rb) and
+// the payload length. Size-limit enforcement stays with the caller,
+// which owns the error message.
+func appendBlockRecord(rb *recordBuf, b *block.Block) (rec []byte, payloadLen int) {
+	rb.b = rb.b[:0]
+	rb.b = append(rb.b, make([]byte, recHeaderSize)...)
+	rb.b = b.AppendEncode(rb.b)
+	fillRecordHeader(rb.b, b.Header.Number)
+	return rb.b, len(rb.b) - recHeaderSize
+}
+
+// fillRecordHeader stamps the fixed header over rec's first bytes,
+// deriving length and checksum from the payload that follows it.
+func fillRecordHeader(rec []byte, num uint64) {
+	payload := rec[recHeaderSize:]
+	binary.LittleEndian.PutUint64(rec[0:8], num)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(payload))
+}
+
+// parseRecord reads the record at the head of rest. The returned
+// payload aliases rest — callers that retain it must copy. ok reports
+// whether a complete, checksum-valid record was present; false marks a
+// torn or corrupt tail and ends a scan.
+func parseRecord(rest []byte) (num uint64, payload []byte, span int, ok bool) {
+	if len(rest) < recHeaderSize {
+		return 0, nil, 0, false
+	}
+	num = binary.LittleEndian.Uint64(rest[0:8])
+	n := binary.LittleEndian.Uint32(rest[8:12])
+	sum := binary.LittleEndian.Uint32(rest[12:16])
+	if n > maxRecordBytes || len(rest) < recHeaderSize+int(n) {
+		return 0, nil, 0, false
+	}
+	payload = rest[recHeaderSize : recHeaderSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, 0, false
+	}
+	return num, payload, recHeaderSize + int(n), true
+}

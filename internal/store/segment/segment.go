@@ -1,16 +1,15 @@
 package segment
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"iter"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/seldel/seldel/internal/block"
 	manifestlog "github.com/seldel/seldel/internal/manifest"
@@ -100,6 +99,10 @@ type Store struct {
 	// open, least recently used first. The active segment never enters
 	// it: its handle must stay open for appends.
 	lru []*segmentFile
+	// fsyncs counts fsyncs issued against segment data files and the
+	// store directory (metadata marker files are excluded). The bench's
+	// fsyncs-per-block column divides this by blocks appended.
+	fsyncs atomic.Uint64
 }
 
 var _ store.Store = (*Store)(nil)
@@ -295,22 +298,12 @@ func (s *Store) openSegment(id uint64, path string) (*segmentFile, error) {
 	if len(raw) >= len(segMagic) && string(raw[:len(segMagic)]) == segMagic {
 		good = int64(len(segMagic))
 		for {
-			rest := raw[good:]
-			if len(rest) < recHeaderSize {
-				break
-			}
-			num := binary.LittleEndian.Uint64(rest[0:8])
-			n := binary.LittleEndian.Uint32(rest[8:12])
-			sum := binary.LittleEndian.Uint32(rest[12:16])
-			if n > maxRecordBytes || len(rest) < recHeaderSize+int(n) {
+			num, payload, span, ok := parseRecord(raw[good:])
+			if !ok {
 				break // torn or corrupt tail
 			}
-			payload := rest[recHeaderSize : recHeaderSize+int(n)]
-			if crc32.ChecksumIEEE(payload) != sum {
-				break
-			}
-			s.indexRecord(seg, num, good+recHeaderSize, int(n))
-			good += recHeaderSize + int64(n)
+			s.indexRecord(seg, num, good+recHeaderSize, len(payload))
+			good += int64(span)
 		}
 	} else if len(raw) > 0 {
 		f.Close()
@@ -466,39 +459,29 @@ func (s *Store) OpenHandles() (int, error) {
 	return open, nil
 }
 
-// encodeRecord builds one on-disk record: the fixed header (block
-// number, payload length, payload CRC-32) followed by the payload.
-// PutBlock and rewriteSegmentLocked MUST share it — the recovery scan
-// in openSegment assumes a single record format.
-func encodeRecord(num uint64, payload []byte) []byte {
-	rec := make([]byte, recHeaderSize+len(payload))
-	binary.LittleEndian.PutUint64(rec[0:8], num)
-	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(payload))
-	copy(rec[recHeaderSize:], payload)
-	return rec
-}
-
 // PutBlock implements store.Store: append one length-prefixed record to
 // the active segment, rolling to a new segment at the size threshold.
 // Re-putting a block number appends a superseding record; the index
-// always resolves to the newest copy.
+// always resolves to the newest copy. The record is built in a pooled
+// scratch buffer (records.go), so the append path allocates nothing
+// per block in steady state.
 func (s *Store) PutBlock(b *block.Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return store.ErrClosed
 	}
-	payload := b.Encode()
+	rb := getRecordBuf()
+	defer putRecordBuf(rb)
+	rec, payloadLen := appendBlockRecord(rb, b)
 	// The write path must agree with the recovery scan: a record larger
 	// than maxRecordBytes would append fine today and then be treated
 	// as a torn tail by the next Open, truncating it AND every record
 	// behind it. Reject it up front instead.
-	if len(payload) > maxRecordBytes {
+	if payloadLen > maxRecordBytes {
 		return fmt.Errorf("segment: block %d encodes to %d bytes, over the %d-byte record limit",
-			b.Header.Number, len(payload), maxRecordBytes)
+			b.Header.Number, payloadLen, maxRecordBytes)
 	}
-	rec := encodeRecord(b.Header.Number, payload)
 
 	act := s.active()
 	if act.size+int64(len(rec)) > s.opts.SegmentBytes && act.size > int64(len(segMagic)) {
@@ -510,12 +493,13 @@ func (s *Store) PutBlock(b *block.Block) error {
 	if _, err := act.f.WriteAt(rec, act.size); err != nil {
 		return fmt.Errorf("segment: append block %d: %w", b.Header.Number, err)
 	}
-	s.indexRecord(act, b.Header.Number, act.size+recHeaderSize, len(payload))
+	s.indexRecord(act, b.Header.Number, act.size+recHeaderSize, payloadLen)
 	act.size += int64(len(rec))
 	if s.opts.SyncEvery {
 		if err := act.f.Sync(); err != nil {
 			return fmt.Errorf("segment: sync: %w", err)
 		}
+		s.fsyncs.Add(1)
 	}
 	return nil
 }
@@ -528,6 +512,7 @@ func (s *Store) rollLocked() error {
 	if err := act.f.Sync(); err != nil {
 		return fmt.Errorf("segment: seal segment %d: %w", act.id, err)
 	}
+	s.fsyncs.Add(1)
 	if err := s.startSegmentLocked(act.id + 1); err != nil {
 		return err
 	}
@@ -692,6 +677,7 @@ func (s *Store) deleteBelowLocked(marker uint64, rec *manifestlog.Record) error 
 	if err := s.active().f.Sync(); err != nil {
 		return fmt.Errorf("segment: sync before truncate: %w", err)
 	}
+	s.fsyncs.Add(1)
 	if rec != nil && s.del != nil {
 		stored, err := s.del.Append(*rec)
 		if err != nil {
@@ -755,6 +741,7 @@ func (s *Store) deleteBelowLocked(marker uint64, rec *manifestlog.Record) error 
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
+	s.fsyncs.Add(1)
 	return s.writeManifestLocked()
 }
 
@@ -792,13 +779,18 @@ func (s *Store) rewriteSegmentLocked(seg *segmentFile) error {
 	}
 	off := int64(len(segMagic))
 	newOffsets := make(map[uint64]int64, len(kept))
+	rb := getRecordBuf()
+	defer putRecordBuf(rb)
 	for _, r := range kept {
-		payload := make([]byte, r.n)
-		if _, err := src.ReadAt(payload, r.off); err != nil {
+		// Read the payload straight into the record buffer behind the
+		// reserved header, then stamp the header — one pooled buffer
+		// serves the whole rewrite.
+		rec := rb.sized(r.n)
+		if _, err := src.ReadAt(rec[recHeaderSize:], r.off); err != nil {
 			tmp.Close()
 			return fmt.Errorf("segment: rewrite %s: read block %d: %w", seg.path, r.num, err)
 		}
-		rec := encodeRecord(r.num, payload)
+		fillRecordHeader(rec, r.num)
 		if _, err := tmp.WriteAt(rec, off); err != nil {
 			tmp.Close()
 			return fmt.Errorf("segment: rewrite %s: %w", seg.path, err)
@@ -810,6 +802,7 @@ func (s *Store) rewriteSegmentLocked(seg *segmentFile) error {
 		tmp.Close()
 		return fmt.Errorf("segment: rewrite %s: sync: %w", seg.path, err)
 	}
+	s.fsyncs.Add(1)
 	if err := os.Rename(tmpPath, seg.path); err != nil {
 		tmp.Close()
 		return fmt.Errorf("segment: rewrite %s: rename: %w", seg.path, err)
@@ -864,8 +857,16 @@ func (s *Store) Sync() error {
 	if err := s.active().f.Sync(); err != nil {
 		return fmt.Errorf("segment: sync: %w", err)
 	}
+	s.fsyncs.Add(1)
 	return nil
 }
+
+// FsyncCount reports the number of fsyncs issued so far against
+// segment data files and the store directory. Marker metadata writes
+// (manifest, snapshot, deletion log) are excluded: the counter exists
+// to measure append-path durability cost, where the segment data sync
+// is the unit of work group commit amortizes.
+func (s *Store) FsyncCount() uint64 { return s.fsyncs.Load() }
 
 // SegmentCount returns the number of live segment files (observability
 // for tests and the storage benchmark).
@@ -887,6 +888,9 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.active().f.Sync()
+	if err == nil {
+		s.fsyncs.Add(1)
+	}
 	if merr := s.writeManifestLocked(); err == nil {
 		err = merr
 	}

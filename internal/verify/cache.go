@@ -1,7 +1,6 @@
 package verify
 
 import (
-	"container/list"
 	"sync"
 )
 
@@ -37,26 +36,64 @@ func (c *cache) contains(k cacheKey) bool { return c.shard(k).contains(k) }
 
 func (c *cache) add(k cacheKey) { c.shard(k).add(k) }
 
-// lruShard is one mutex-guarded LRU set.
+// lruShard is one mutex-guarded LRU set over a slot-addressed node
+// array: recency links are int32 slot indices instead of heap-allocated
+// list elements, so once the shard fills, inserts and evictions recycle
+// slots and allocate nothing — every verified signature passes through
+// add on the hot path.
 type lruShard struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List // front = most recent; values are cacheKey
-	items map[cacheKey]*list.Element
+	nodes []lruNode // grows on demand up to cap, then slots are recycled
+	items map[cacheKey]int32
+	head  int32 // most recent; -1 when empty
+	tail  int32 // least recent; -1 when empty
+}
+
+type lruNode struct {
+	key        cacheKey
+	prev, next int32
 }
 
 func (s *lruShard) init(capacity int) {
 	s.cap = capacity
-	s.order = list.New()
-	s.items = make(map[cacheKey]*list.Element, capacity)
+	s.items = make(map[cacheKey]int32, capacity)
+	s.head, s.tail = -1, -1
+}
+
+func (s *lruShard) unlink(i int32) {
+	n := s.nodes[i]
+	if n.prev >= 0 {
+		s.nodes[n.prev].next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next >= 0 {
+		s.nodes[n.next].prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+}
+
+func (s *lruShard) pushFront(i int32) {
+	s.nodes[i].prev = -1
+	s.nodes[i].next = s.head
+	if s.head >= 0 {
+		s.nodes[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
 }
 
 func (s *lruShard) contains(k cacheKey) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.items[k]
-	if ok {
-		s.order.MoveToFront(el)
+	i, ok := s.items[k]
+	if ok && i != s.head {
+		s.unlink(i)
+		s.pushFront(i)
 	}
 	return ok
 }
@@ -64,14 +101,24 @@ func (s *lruShard) contains(k cacheKey) bool {
 func (s *lruShard) add(k cacheKey) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[k]; ok {
-		s.order.MoveToFront(el)
+	if i, ok := s.items[k]; ok {
+		if i != s.head {
+			s.unlink(i)
+			s.pushFront(i)
+		}
 		return
 	}
-	s.items[k] = s.order.PushFront(k)
-	for s.order.Len() > s.cap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(cacheKey))
+	var i int32
+	if len(s.nodes) < s.cap {
+		s.nodes = append(s.nodes, lruNode{})
+		i = int32(len(s.nodes) - 1)
+	} else {
+		// Full: the least-recent slot is evicted and reused in place.
+		i = s.tail
+		s.unlink(i)
+		delete(s.items, s.nodes[i].key)
 	}
+	s.nodes[i].key = k
+	s.items[k] = i
+	s.pushFront(i)
 }

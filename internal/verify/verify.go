@@ -37,6 +37,11 @@ type Stats struct {
 	Busy int
 	// Verified counts Ed25519 verifications actually performed.
 	Verified uint64
+	// Batched counts signatures that reached the curve through the
+	// batch path (chunked aggregate verification) rather than a
+	// standalone VerifySig call. Batched ≤ Verified; the gap is the
+	// single-signature traffic.
+	Batched uint64
 	// CacheHits counts verifications answered from the cache.
 	CacheHits uint64
 	// CacheMisses counts cache probes that fell through to Ed25519.
@@ -74,6 +79,7 @@ type Pool struct {
 
 	busy     atomic.Int64
 	verified atomic.Uint64
+	batched  atomic.Uint64
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 }
@@ -130,6 +136,7 @@ func (p *Pool) Stats() Stats {
 		Workers:     p.workers,
 		Busy:        int(p.busy.Load()),
 		Verified:    p.verified.Load(),
+		Batched:     p.batched.Load(),
 		CacheHits:   p.hits.Load(),
 		CacheMisses: p.misses.Load(),
 	}
@@ -207,21 +214,32 @@ func (p *Pool) Each(n int, fn func(int)) {
 	wg.Wait()
 }
 
+// cacheKeyScratchPool holds concat buffers for cacheKeyFor, so the two
+// key computations per entry on the warm+seal path allocate nothing.
+var cacheKeyScratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // cacheKeyFor binds public key, message, and signature into one cache
 // key. Field lengths are framed so no (sig, msg) split can collide with
 // another split of the same concatenation. Hashing costs ~100ns against
-// the ~50µs Ed25519 verification it can save.
+// the ~50µs Ed25519 verification it can save. The inputs are gathered
+// into a pooled scratch buffer and hashed with one Sum256 call, which
+// skips the heap-allocated hasher state of the streaming API.
 func cacheKeyFor(pub ed25519.PublicKey, msg, sig []byte) cacheKey {
-	h := sha256.New()
-	h.Write([]byte("seldel/verify/v1"))
-	var frame [8]byte
-	binary.LittleEndian.PutUint64(frame[:], uint64(len(sig)))
-	h.Write(frame[:])
-	h.Write(pub)
-	h.Write(sig)
-	h.Write(msg)
-	var k cacheKey
-	h.Sum(k[:0])
+	bp := cacheKeyScratchPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "seldel/verify/v1"...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(sig)))
+	b = append(b, pub...)
+	b = append(b, sig...)
+	b = append(b, msg...)
+	k := sha256.Sum256(b)
+	*bp = b
+	cacheKeyScratchPool.Put(bp)
 	return k
 }
 
@@ -253,10 +271,14 @@ func (p *Pool) VerifySig(pub ed25519.PublicKey, msg, sig []byte) bool {
 }
 
 // Entries verifies a batch of entries against reg: structural shape and
-// owner signature for every entry, in parallel across the pool. The
-// first failure (by batch position) is returned as an *EntryError.
-// Chain-state-dependent rules (dependencies, marks) are not checked
-// here — they belong under the chain lock.
+// owner signature for every entry. Shape checks and identity lookups
+// run inline (they are nanoseconds against the microseconds of curve
+// math); the surviving signatures are then resolved together through
+// one Batch — cache screen, duplicate collapse, chunked aggregate
+// verify across the pool's workers. The first failure (by batch
+// position) is returned as an *EntryError. Chain-state-dependent rules
+// (dependencies, marks) are not checked here — they belong under the
+// chain lock.
 func (p *Pool) Entries(reg *identity.Registry, entries []*block.Entry) error {
 	switch len(entries) {
 	case 0:
@@ -265,9 +287,27 @@ func (p *Pool) Entries(reg *identity.Registry, entries []*block.Entry) error {
 		return p.verifyOne(reg, 0, entries[0])
 	}
 	errs := make([]error, len(entries))
-	p.Each(len(entries), func(i int) {
-		errs[i] = p.verifyOne(reg, i, entries[i])
-	})
+	b := p.NewBatch(len(entries))
+	idx := make([]int, 0, len(entries))
+	for i, e := range entries {
+		if err := e.CheckShape(); err != nil {
+			errs[i] = &EntryError{Index: i, Err: err}
+			continue
+		}
+		info, ok := reg.Lookup(e.Owner)
+		if !ok {
+			errs[i] = &EntryError{Index: i, Err: fmt.Errorf("%w: %q", identity.ErrUnknownIdentity, e.Owner)}
+			continue
+		}
+		b.Add(info.Public, e.SigningBytes(), e.Signature)
+		idx = append(idx, i)
+	}
+	for j, ok := range b.Verify() {
+		if !ok {
+			i := idx[j]
+			errs[i] = &EntryError{Index: i, Err: fmt.Errorf("%w: signer %q", identity.ErrBadSignature, entries[i].Owner)}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -290,11 +330,19 @@ func (p *Pool) CoSigners(reg *identity.Registry, e *block.Entry) []bool {
 	}
 	msg := block.CoSigningBytes(e.Target)
 	verdicts := make([]bool, n)
-	p.Each(n, func(i int) {
-		cs := e.CoSigners[i]
+	b := p.NewBatch(n)
+	idx := make([]int, 0, n)
+	for i, cs := range e.CoSigners {
 		info, ok := reg.Lookup(cs.Name)
-		verdicts[i] = ok && p.VerifySig(info.Public, msg, cs.Signature)
-	})
+		if !ok {
+			continue
+		}
+		b.Add(info.Public, msg, cs.Signature)
+		idx = append(idx, i)
+	}
+	for j, ok := range b.Verify() {
+		verdicts[idx[j]] = ok
+	}
 	return verdicts
 }
 
@@ -302,24 +350,56 @@ func (p *Pool) CoSigners(reg *identity.Registry, e *block.Entry) []bool {
 // call over the same batch resolves from hits. Deletion entries also
 // warm their co-signatures, so request authorization at sealing time
 // resolves from the cache too. Failures are ignored — the
-// authoritative check happens at validation time. Every unit is
-// dispatched as a leaf task (never a task that waits on other tasks),
-// so warming cannot deadlock the pool.
+// authoritative check happens at validation time. The signatures are
+// collected into one batch and dispatched in chunk-sized sub-batches,
+// each a leaf task resolving through VerifyInline (never a task that
+// waits on other tasks), so warming cannot deadlock the pool and costs
+// one dispatch per chunk instead of one per signature.
 func (p *Pool) Warm(reg *identity.Registry, entries []*block.Entry) {
+	// The overwhelmingly common shape is a producer submitting a single
+	// data entry: one signature, no co-signers. Skip the batch machinery
+	// — one dispatched closure, the signing bytes computed off the
+	// submitter's goroutine, the cache filled through VerifySig.
+	if len(entries) == 1 && entries[0].Kind == block.KindData {
+		e := entries[0]
+		if e.CheckShape() != nil {
+			return
+		}
+		info, ok := reg.Lookup(e.Owner)
+		if !ok {
+			return
+		}
+		p.dispatch(func() { _ = p.VerifySig(info.Public, e.SigningBytes(), e.Signature) })
+		return
+	}
+	b := p.NewBatch(len(entries))
 	for _, e := range entries {
-		e := e
-		p.dispatch(func() { _ = p.verifyOne(reg, 0, e) })
+		// Shape failures and unknown signers are screened here for free;
+		// the authoritative validation re-checks and reports them.
+		if e.CheckShape() != nil {
+			continue
+		}
+		if info, ok := reg.Lookup(e.Owner); ok {
+			b.Add(info.Public, e.SigningBytes(), e.Signature)
+		}
 		if e.Kind != block.KindDeletion {
 			continue
 		}
+		msg := block.CoSigningBytes(e.Target)
 		for _, cs := range e.CoSigners {
-			cs, target := cs, e.Target
-			p.dispatch(func() {
-				if info, ok := reg.Lookup(cs.Name); ok {
-					p.VerifySig(info.Public, block.CoSigningBytes(target), cs.Signature)
-				}
-			})
+			if info, ok := reg.Lookup(cs.Name); ok {
+				b.Add(info.Public, msg, cs.Signature)
+			}
 		}
+	}
+	if b.Len() <= batchChunk {
+		// One chunk: dispatch the batch itself instead of splitting.
+		p.dispatch(func() { _ = b.VerifyInline() })
+		return
+	}
+	for _, sub := range b.split(batchChunk) {
+		sub := sub
+		p.dispatch(func() { _ = sub.VerifyInline() })
 	}
 }
 
@@ -341,29 +421,51 @@ func (p *Pool) verifyOne(reg *identity.Registry, idx int, e *block.Entry) error 
 // Blocks verifies the entries of many blocks concurrently — the restore
 // path: a whole persisted chain (or an adopted status quo) is re-checked
 // with all cores before any of it is trusted. Summary blocks contribute
-// their carried entries. The first failing block (by slice position) is
-// reported. All work is dispatched as leaf tasks (never a task that
-// waits on other tasks), so the pool cannot deadlock on itself.
+// their carried entries. Shape and identity screening run inline, then
+// every signature across every block resolves through one Batch: the
+// cache screens entries that summary blocks re-carry, and the chunked
+// aggregate pass fans the remainder across the pool's workers. The
+// first failing block (by slice position) is reported.
 func (p *Pool) Blocks(reg *identity.Registry, blocks []*block.Block) error {
 	type unit struct {
-		blockPos int
 		blockNum uint64
 		entryIdx int
 		entry    *block.Entry
 	}
 	var units []unit
-	for i, b := range blocks {
+	for _, b := range blocks {
 		for j, e := range blockEntries(b) {
-			units = append(units, unit{i, b.Header.Number, j, e})
+			units = append(units, unit{b.Header.Number, j, e})
 		}
 	}
 	errs := make([]error, len(units))
-	p.Each(len(units), func(i int) {
-		u := units[i]
-		if err := p.verifyOne(reg, u.entryIdx, u.entry); err != nil {
-			errs[i] = fmt.Errorf("block %d: %w", u.blockNum, err)
+	b := p.NewBatch(len(units))
+	idx := make([]int, 0, len(units))
+	for i, u := range units {
+		if err := u.entry.CheckShape(); err != nil {
+			errs[i] = fmt.Errorf("block %d: %w", u.blockNum, &EntryError{Index: u.entryIdx, Err: err})
+			continue
 		}
-	})
+		info, ok := reg.Lookup(u.entry.Owner)
+		if !ok {
+			errs[i] = fmt.Errorf("block %d: %w", u.blockNum, &EntryError{
+				Index: u.entryIdx,
+				Err:   fmt.Errorf("%w: %q", identity.ErrUnknownIdentity, u.entry.Owner),
+			})
+			continue
+		}
+		b.Add(info.Public, u.entry.SigningBytes(), u.entry.Signature)
+		idx = append(idx, i)
+	}
+	for j, ok := range b.Verify() {
+		if !ok {
+			u := units[idx[j]]
+			errs[idx[j]] = fmt.Errorf("block %d: %w", u.blockNum, &EntryError{
+				Index: u.entryIdx,
+				Err:   fmt.Errorf("%w: signer %q", identity.ErrBadSignature, u.entry.Owner),
+			})
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

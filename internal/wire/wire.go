@@ -67,13 +67,17 @@ func SealEnvelope(key *identity.KeyPair, kind string, body []byte) []byte {
 }
 
 // OpenEnvelope decodes and verifies an envelope against the registry.
+// Body and Sig are views into raw (no copy): the transport hands off
+// message buffers and never reuses them, and every payload decoder
+// copies what it retains, so the envelope's fields stay valid for as
+// long as raw does.
 func OpenEnvelope(reg *identity.Registry, raw []byte) (Envelope, error) {
 	d := codec.NewDecoder(raw)
 	var env Envelope
 	env.Sender = d.ReadString()
 	env.Kind = d.ReadString()
-	env.Body = d.Bytes()
-	env.Sig = d.Bytes()
+	env.Body = d.View()
+	env.Sig = d.View()
 	if err := d.Finish(); err != nil {
 		return env, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
@@ -316,7 +320,10 @@ func EncodeSyncResp(p SyncRespPayload) []byte {
 	return e.Data()
 }
 
-// DecodeSyncResp decodes a sync response.
+// DecodeSyncResp decodes a sync response. Blocks are views into raw:
+// each is fed straight to block.DecodeBlock, which copies everything it
+// retains, so the catch-up path decodes a whole batch without
+// duplicating the payload bytes first.
 func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 	d := codec.NewDecoder(raw)
 	var p SyncRespPayload
@@ -328,7 +335,7 @@ func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 		return p, fmt.Errorf("wire: sync response too large: %d blocks", n)
 	}
 	for i := uint32(0); i < n; i++ {
-		p.Blocks = append(p.Blocks, d.Bytes())
+		p.Blocks = append(p.Blocks, d.View())
 	}
 	p.ManifestSeq = d.Uint64()
 	p.ManifestMarker = d.Uint64()
@@ -389,8 +396,10 @@ func DecodeSnapshot(raw []byte) (SnapshotPayload, error) {
 	if n > MaxSyncBlocks {
 		return p, fmt.Errorf("wire: snapshot too large: %d blocks", n)
 	}
+	// Views, as in DecodeSyncResp: the restore pipeline decodes each
+	// block immediately and never retains the raw bytes.
 	for i := uint32(0); i < n; i++ {
-		p.Blocks = append(p.Blocks, d.Bytes())
+		p.Blocks = append(p.Blocks, d.View())
 	}
 	p.ManifestSeq = d.Uint64()
 	p.ManifestMarker = d.Uint64()

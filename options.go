@@ -28,6 +28,9 @@ type builder struct {
 	segDir      string
 	segOpts     SegmentOptions
 	manifestOff bool
+	// durability records a WithDurability request; it is wired to the
+	// resolved store's Sync in b.open(), after every option ran.
+	durability chain.Durability
 	// owned are resources opened by the builder itself (the deferred
 	// WithSegmentStore open) rather than passed in by the caller: the
 	// new chain adopts them (closed by Chain.Close), and New closes
@@ -101,6 +104,14 @@ func (b *builder) open() (*Chain, error) {
 		b.owned = append(b.owned, s)
 	} else if b.manifestOff {
 		return nil, fmt.Errorf("%w: WithoutDeletionManifest requires WithSegmentStore", ErrConfig)
+	}
+	if b.durability.Mode == chain.DurabilityGroup {
+		syncer, ok := b.store.(interface{ Sync() error })
+		if !ok {
+			return nil, fmt.Errorf("%w: WithDurability(DurabilityGroup) requires a store with Sync — use WithSegmentStore, or WithStore with a store that implements Sync() error", ErrConfig)
+		}
+		b.durability.Sync = syncer.Sync
+		b.cfg.Durability = b.durability
 	}
 	if b.store == nil {
 		return chain.New(b.cfg)
@@ -274,6 +285,33 @@ func WithSegmentStore(dir string, opts ...SegmentOptions) Option {
 func WithoutDeletionManifest() Option {
 	return func(b *builder) error {
 		b.manifestOff = true
+		return nil
+	}
+}
+
+// WithDurability selects when submission receipts resolve relative to
+// the store's durability point. The default (DurabilitySeal) resolves a
+// receipt at seal time, leaving durability to the store's own fsync
+// policy. DurabilityGroup is group commit: receipts resolve only after
+// their blocks reach stable storage, and all blocks sealed while one
+// fsync is in flight share the next one — per-receipt durability at a
+// small fraction of an fsync per block. window bounds how long the
+// committer accumulates sealed blocks before forcing the sync (0 syncs
+// as soon as the committer is free); it is an upper bound on the extra
+// receipt latency group commit introduces.
+//
+// DurabilityGroup requires a store whose handle can force durability:
+// WithSegmentStore, or WithStore with a store implementing
+// `Sync() error`.
+func WithDurability(mode DurabilityMode, window time.Duration) Option {
+	return func(b *builder) error {
+		if !mode.Valid() {
+			return fmt.Errorf("%w: invalid durability mode %d", ErrConfig, mode)
+		}
+		if window < 0 {
+			return fmt.Errorf("%w: negative durability window", ErrConfig)
+		}
+		b.durability = chain.Durability{Mode: mode, GroupWindow: window}
 		return nil
 	}
 }

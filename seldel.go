@@ -274,6 +274,21 @@ const (
 	ShrinkAllButNewest = chain.ShrinkAllButNewest
 )
 
+// DurabilityMode selects when submission receipts resolve relative to
+// the store's durability point (see WithDurability).
+type DurabilityMode = chain.DurabilityMode
+
+// Durability modes.
+const (
+	// DurabilitySeal resolves receipts at seal time (the default);
+	// durability follows the store's own fsync policy.
+	DurabilitySeal = chain.DurabilitySeal
+	// DurabilityGroup resolves receipts only once their blocks are on
+	// stable storage, amortizing one fsync over every block sealed
+	// while the previous sync was in flight (group commit).
+	DurabilityGroup = chain.DurabilityGroup
+)
+
 // Deletion authorization policies (§IV-D.1).
 const (
 	PolicyOwnerOnly = deletion.PolicyOwnerOnly

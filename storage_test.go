@@ -2,8 +2,10 @@ package seldel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestWithSegmentStoreLifecycle exercises the public segment-store
@@ -86,6 +88,70 @@ func TestWithSegmentStoreLifecycle(t *testing.T) {
 	}
 	if snap.Marker != marker {
 		t.Errorf("snapshot marker %d, want %d", snap.Marker, marker)
+	}
+}
+
+// TestWithDurabilityGroup exercises the group-commit façade option:
+// receipts resolve only after their blocks are fsynced, the chain
+// survives reopen, and configurations that cannot honor the contract
+// are rejected at construction.
+func TestWithDurabilityGroup(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	alice := DeterministicKey("alice", "group-commit-test")
+	if err := reg.RegisterKey(alice, RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(reg,
+		WithSequenceLength(3),
+		WithClock(NewLogicalClock(0)),
+		WithSegmentStore(dir, SegmentOptions{}),
+		WithDurability(DurabilityGroup, 5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	headHash := c.HeadHash()
+	for i := 0; i < 10; i++ {
+		sealed, err := c.SubmitWait(ctx, NewData("alice", []byte(fmt.Sprintf("g-%02d", i))).Sign(alice))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sealed[0].Block == 0 {
+			t.Fatalf("receipt %d resolved without a block number", i)
+		}
+		headHash = c.HeadHash()
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything a receipt acknowledged is on disk: the reopened chain
+	// carries the same head.
+	c2, err := New(reg,
+		WithSequenceLength(3),
+		WithClock(NewLogicalClock(0)),
+		WithSegmentStore(dir, SegmentOptions{}),
+	)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	if c2.HeadHash() != headHash {
+		t.Error("reopened head hash differs from last acknowledged head")
+	}
+
+	// Group commit needs a store that can fsync on demand: a memory-only
+	// chain (no store at all) must be rejected, loudly, at construction.
+	if _, err := New(reg, WithDurability(DurabilityGroup, 0)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("in-memory chain with group durability: err=%v, want ErrConfig", err)
+	}
+	// Invalid knobs fail regardless of the store.
+	if _, err := New(reg, WithDurability(DurabilityMode(99), 0)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("bogus durability mode: err=%v, want ErrConfig", err)
+	}
+	if _, err := New(reg, WithDurability(DurabilityGroup, -time.Second)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative group window: err=%v, want ErrConfig", err)
 	}
 }
 
