@@ -9,8 +9,13 @@
 // -json-entries than the baseline. Rate guards: submission throughput
 // at 16 producers, segment-store restore-from-snapshot throughput,
 // cluster-replicated block throughput at 3 nodes, tombstone-proof
-// build+verify throughput. Cost guards: pipelined append allocs/entry
-// and group-commit fsyncs/block at 16 producers.
+// build+verify throughput, and partitioned submission throughput at 4
+// partitions. Cost guards: pipelined append allocs/entry and
+// group-commit fsyncs/block at 16 producers. A candidate-only floor
+// additionally requires 4-partition throughput to scale at least
+// -min-partition-scaling over single-partition on >= 4-CPU hardware.
+// Dimensions absent from the baseline are skipped with a printed
+// "skip:" line — never silently (see README.md here for the history).
 //
 // Usage:
 //
@@ -38,6 +43,7 @@ func run(args []string) error {
 	basePath := fs.String("baseline", "", "committed baseline report (e.g. BENCH_PR4.json)")
 	candPath := fs.String("candidate", "", "freshly measured report (e.g. bench-smoke.json)")
 	maxRegress := fs.Float64("max-regress", 0.30, "maximum allowed fractional regression per metric")
+	minScaling := fs.Float64("min-partition-scaling", 2.0, "minimum 4-partition over 1-partition submit throughput (enforced only when the candidate ran on >= 4 CPUs)")
 	enforce := fs.Bool("enforce", false, "fail on regression even when the baseline was measured on different hardware")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,11 +60,14 @@ func run(args []string) error {
 		return err
 	}
 	failures := evaluate(base, cand, *maxRegress)
-	if len(failures) == 0 {
+	// The partition scaling floor is candidate-only (a ratio within one
+	// report), so baseline hardware mismatch never downgrades it.
+	scaling := checkPartitionScaling(cand, *minScaling)
+	if len(failures) == 0 && len(scaling) == 0 {
 		fmt.Println("bench gate passed")
 		return nil
 	}
-	for _, f := range failures {
+	for _, f := range append(append([]string{}, failures...), scaling...) {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 	}
 	// Absolute rates only transfer between comparable machines. When
@@ -68,11 +77,39 @@ func run(args []string) error {
 	// recalibrate; -enforce overrides.
 	if match, why := hardwareComparable(base, cand); !match && !*enforce {
 		fmt.Fprintf(os.Stderr, "WARNING: baseline hardware differs from candidate (%s); "+
-			"regressions above are ADVISORY — regenerate the baseline from this environment's "+
-			"bench output (e.g. the CI bench-smoke artifact) to arm the gate, or pass -enforce\n", why)
+			"baseline-relative regressions above are ADVISORY — regenerate the baseline from this "+
+			"environment's bench output (e.g. the CI bench-smoke artifact) to arm the gate, or pass -enforce\n", why)
+		if len(scaling) > 0 {
+			return fmt.Errorf("partition scaling floor violated (candidate-only check; hardware mismatch does not excuse it)")
+		}
 		return nil
 	}
-	return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(failures), *maxRegress*100)
+	return fmt.Errorf("%d metric(s) regressed beyond allowed bounds", len(failures)+len(scaling))
+}
+
+// checkPartitionScaling enforces the sharding floor: the 4-partition
+// submission row must beat the single-partition row by at least min on
+// hardware that can actually run four sub-chains in parallel. On
+// narrower boxes (or candidates without the dimension) the check skips
+// loudly instead of passing silently.
+func checkPartitionScaling(cand *experiments.PipelineReport, min float64) []string {
+	if min <= 0 {
+		return nil
+	}
+	if cand.PartitionScaling4x <= 0 {
+		fmt.Println("skip: partition scaling floor — candidate has no partition dimension; floor UNENFORCED this run")
+		return nil
+	}
+	if cand.NumCPU < 4 {
+		fmt.Printf("skip: partition scaling floor — candidate num_cpu=%d < 4; 4-way sharding cannot scale here, floor UNENFORCED this run\n", cand.NumCPU)
+		return nil
+	}
+	if cand.PartitionScaling4x < min {
+		return []string{fmt.Sprintf("partition scaling: 4p/1p %.2fx < floor %.2fx (num_cpu=%d)",
+			cand.PartitionScaling4x, min, cand.NumCPU)}
+	}
+	fmt.Printf("ok: %-45s %9.2fx (floor %.2fx)\n", "partition scaling 4p/1p", cand.PartitionScaling4x, min)
+	return nil
 }
 
 // hardwareComparable reports whether two reports came from the same
@@ -155,6 +192,17 @@ var metrics = []metric{
 		},
 	},
 	{
+		name: "partitions submit@16 @4p ops/sec",
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.PartitionResults {
+				if res.Partitions == 4 && res.Producers == 16 {
+					return res.OpsPerSec, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
 		name:          "append allocs/entry",
 		lowerIsBetter: true,
 		extract: func(r *experiments.PipelineReport) (float64, bool) {
@@ -185,12 +233,16 @@ var metrics = []metric{
 // for rates, above it for lower-is-better costs. A metric missing from
 // the candidate while present in the baseline is a failure too (the
 // dimension silently stopped running); one missing from the baseline is
-// skipped.
+// skipped — loudly, so a gate run that guarded fewer dimensions than
+// the reader assumed is visible in the log instead of reading as full
+// coverage (that silence is how the PR 6 manifest dimension shipped
+// ungated; see README.md in this directory).
 func evaluate(base, cand *experiments.PipelineReport, maxRegress float64) []string {
 	var failures []string
 	for _, m := range metrics {
 		b, ok := m.extract(base)
 		if !ok || b <= 0 {
+			fmt.Printf("skip: %-43s not in baseline — dimension UNGUARDED this run; regenerate the baseline to arm it\n", m.name)
 			continue
 		}
 		c, ok := m.extract(cand)

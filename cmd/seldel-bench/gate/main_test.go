@@ -140,6 +140,66 @@ func TestEvaluateCostMetrics(t *testing.T) {
 	}
 }
 
+// TestEvaluatePartitionMetric covers the PR 8 rate guard: submission
+// throughput at 4 partitions is baseline-relative like every other
+// rate, with the same skip-vs-fail asymmetry on missing dimensions.
+func TestEvaluatePartitionMetric(t *testing.T) {
+	withParts := func(ops4 float64) *experiments.PipelineReport {
+		r := report(10000, 50000)
+		if ops4 > 0 {
+			r.PartitionResults = append(r.PartitionResults, experiments.PartitionResult{
+				Partitions: 4, Producers: 16, OpsPerSec: ops4,
+			})
+		}
+		return r
+	}
+	base := withParts(40000)
+	if fails := evaluate(base, withParts(35000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+	fails := evaluate(base, withParts(10000), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "partitions submit@16") {
+		t.Fatalf("want one partition-rate failure, got %v", fails)
+	}
+	// Candidate silently lost the partition dimension: failure.
+	fails = evaluate(base, withParts(0), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
+		t.Fatalf("want missing-metric failure, got %v", fails)
+	}
+	// Baseline without the dimension (pre-PR-8 file): skipped, not failed.
+	if fails := evaluate(withParts(0), withParts(40000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures vs old baseline: %v", fails)
+	}
+}
+
+// TestCheckPartitionScaling pins the candidate-only sharding floor:
+// enforced on >= 4-CPU candidates, skipped (loudly, never failed) on
+// narrow boxes or reports without the dimension.
+func TestCheckPartitionScaling(t *testing.T) {
+	cand := func(cpus int, scaling float64) *experiments.PipelineReport {
+		return &experiments.PipelineReport{NumCPU: cpus, PartitionScaling4x: scaling}
+	}
+	if v := checkPartitionScaling(cand(8, 2.5), 2.0); len(v) != 0 {
+		t.Errorf("scaling above floor flagged: %v", v)
+	}
+	v := checkPartitionScaling(cand(8, 1.2), 2.0)
+	if len(v) != 1 || !strings.Contains(v[0], "partition scaling") {
+		t.Errorf("want one scaling violation, got %v", v)
+	}
+	// Single-core candidate: 4-way sharding cannot help; skip, not fail.
+	if v := checkPartitionScaling(cand(1, 0.9), 2.0); len(v) != 0 {
+		t.Errorf("narrow-box candidate flagged: %v", v)
+	}
+	// No partition dimension at all: skip, not fail.
+	if v := checkPartitionScaling(cand(8, 0), 2.0); len(v) != 0 {
+		t.Errorf("dimensionless candidate flagged: %v", v)
+	}
+	// Floor disabled explicitly.
+	if v := checkPartitionScaling(cand(8, 0.5), 0); len(v) != 0 {
+		t.Errorf("disabled floor flagged: %v", v)
+	}
+}
+
 func TestHardwareComparable(t *testing.T) {
 	same := func() *experiments.PipelineReport {
 		return &experiments.PipelineReport{GOOS: "linux", GOARCH: "amd64", NumCPU: 4}

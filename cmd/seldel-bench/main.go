@@ -127,6 +127,13 @@ func run(args []string) error {
 					r.Mode, r.Producers, r.Blocks, r.Fsyncs, r.FsyncsPerBlock, r.OpsPerSec)
 			}
 		}
+		for _, r := range report.PartitionResults {
+			fmt.Printf("partition n=%-2d producers=%-2d entries=%-6d %10.0f ops/sec\n",
+				r.Partitions, r.Producers, r.Entries, r.OpsPerSec)
+		}
+		if report.PartitionScaling4x > 0 {
+			fmt.Printf("partitions submit@16: 4p vs 1p %.2fx\n", report.PartitionScaling4x)
+		}
 		if b := report.HotPathBaselinePR6; b != nil && b.AllocsPerEntry > 0 {
 			fmt.Printf("hotpath vs PR6 baseline (%s): allocs/entry %.1f -> %.1f, fsyncs/block (durable receipts) %.3f -> %.3f\n",
 				b.Commit, b.AllocsPerEntry, report.AppendAllocsPerOp,

@@ -241,7 +241,6 @@ var leafScratchPool = sync.Pool{
 	},
 }
 
-
 // CarriedRoot computes the Merkle root over the canonical encodings of a
 // summary block's carried entries.
 func CarriedRoot(carried []CarriedEntry) codec.Hash { return CarriedRootWith(nil, carried) }

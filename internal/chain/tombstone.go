@@ -279,8 +279,13 @@ func (c *Chain) ProveDeleted(ref block.Ref) (*DeletedProof, error) {
 // bracket proves the entry absent from the carried set. It needs no
 // chain: the proof is self-contained against the recorded summary hash.
 func (p *DeletedProof) Verify() error {
-	if !p.Record.Covers(p.Ref.Block) {
-		return fmt.Errorf("chain: proof record [%d,%d) does not cover %s",
+	// The record's range covers the origin block — or the origin
+	// predates it entirely: an entry carried forward through summaries
+	// is erased when its carrier is cut, so its origin ref can sit
+	// below OldMarker. What can never happen is a tombstone for a block
+	// at or above the record's new marker (not yet cut).
+	if p.Ref.Block >= p.Record.NewMarker {
+		return fmt.Errorf("chain: proof record [%d,%d) cannot tombstone %s (at or above the new marker)",
 			p.Record.OldMarker, p.Record.NewMarker, p.Ref)
 	}
 	if p.Tombstone.Target != p.Ref {

@@ -161,11 +161,75 @@ func TestProveDeletedAndVerify(t *testing.T) {
 			t.Error("proof with doctored summary header verified")
 		}
 	}
+	// A record whose new marker sits at or below the target's block is
+	// impossible (the block would not have been cut yet). Range shifts
+	// that keep the target below the new marker are legitimate — that
+	// is exactly the shape of a carried entry erased when its carrier
+	// summary was cut (see TestProveDeletedCarriedVictim).
 	tampered = *p
-	tampered.Record.OldMarker = p.Record.NewMarker
-	tampered.Record.NewMarker = p.Record.NewMarker + 1
+	tampered.Record.NewMarker = p.Ref.Block
 	if err := tampered.Verify(); err == nil {
-		t.Error("proof with shifted record range verified")
+		t.Error("proof with record marker at the target block verified")
+	}
+}
+
+// TestProveDeletedCarriedVictim pins the carried-entry erasure shape:
+// an entry that survived into a summary block before its deletion mark
+// landed is erased when the carrier is cut, so the covering record's
+// range starts above the entry's origin block. The proof must still
+// verify — the tombstone membership, not origin-range coverage, is the
+// binding.
+func TestProveDeletedCarriedVictim(t *testing.T) {
+	env := newEnv(t, "alpha")
+	c := newChain(t, defaultConfig(env))
+	defer c.Close()
+	ctx := context.Background()
+	sealed, err := c.SubmitWait(ctx, env.data("alpha", "carried-victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sealed[0].Ref
+	// Churn until the origin block is cut while the entry (unmarked)
+	// is carried forward.
+	for i := 0; c.Marker() <= victim.Block; i++ {
+		if i > 64 {
+			t.Fatal("origin block never cut")
+		}
+		if _, err := c.SubmitWait(ctx, env.data("alpha", fmt.Sprintf("pre-churn-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CompactWait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := c.Lookup(victim); !ok {
+		t.Fatal("victim not carried forward")
+	}
+	// Now delete the carried entry and churn until the mark executes.
+	if _, err := c.SubmitWait(ctx, env.del("alpha", victim)); err != nil {
+		t.Fatal(err)
+	}
+	var proof *DeletedProof
+	for i := 0; ; i++ {
+		if i > 64 {
+			t.Fatal("carried victim never erased")
+		}
+		if _, err := c.SubmitWait(ctx, env.data("alpha", fmt.Sprintf("post-churn-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CompactWait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if p, err := c.ProveDeleted(victim); err == nil {
+			proof = p
+			break
+		}
+	}
+	if proof.Record.Covers(victim.Block) {
+		t.Log("record covers the origin; carried shape not exercised this run")
+	}
+	if err := proof.Verify(); err != nil {
+		t.Fatalf("carried-victim proof failed verification: %v", err)
 	}
 }
 

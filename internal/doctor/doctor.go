@@ -71,6 +71,12 @@ type Options struct {
 	// DELETIONS.archive, keeping the active manifest small. Implies the
 	// store open of Repair.
 	Archive bool
+	// BaseMarker is the store's genesis block number — zero for a
+	// classic chain, the partition's stripe base (index · stride) for a
+	// store under a partitioned root. A marker at the base is pristine:
+	// it needs no covering deletion record and hydrate must not
+	// fabricate one below it. RunPartitioned fills it per partition.
+	BaseMarker uint64
 }
 
 // Report is the outcome of one doctor run.
@@ -131,7 +137,7 @@ func Run(dir string, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := check(dir)
+		rep, err := check(dir, opts.BaseMarker)
 		if err != nil {
 			return nil, err
 		}
@@ -139,11 +145,12 @@ func Run(dir string, opts Options) (*Report, error) {
 		rep.Repaired = true
 		return rep, nil
 	}
-	return check(dir)
+	return check(dir, opts.BaseMarker)
 }
 
-// check is the read-only cross-validation pass.
-func check(dir string) (*Report, error) {
+// check is the read-only cross-validation pass; base is the store's
+// genesis block number (Options.BaseMarker).
+func check(dir string, base uint64) (*Report, error) {
 	rep := &Report{Dir: dir}
 	info, err := segment.Inspect(dir)
 	if err != nil {
@@ -189,7 +196,7 @@ func check(dir string) (*Report, error) {
 	}
 
 	checkSegments(rep, info)
-	checkManifest(rep, recs, info)
+	checkManifest(rep, recs, info, base)
 	return rep, nil
 }
 
@@ -211,7 +218,7 @@ func checkSegments(rep *Report, info *segment.DirInfo) {
 
 // checkManifest validates the deletion records against each other and
 // against the other marker sources.
-func checkManifest(rep *Report, recs []manifest.Record, info *segment.DirInfo) {
+func checkManifest(rep *Report, recs []manifest.Record, info *segment.DirInfo, base uint64) {
 	if rep.ManifestMarker > info.MarkerFile && info.MarkerErr == "" {
 		rep.add("truncation-interrupted", Warn, true,
 			"deletion record %d shifted the marker to %d but MANIFEST still says %d",
@@ -222,7 +229,7 @@ func checkManifest(rep *Report, recs []manifest.Record, info *segment.DirInfo) {
 			"snapshot checkpoint at marker %d predates deletion record marker %d",
 			rep.SnapshotMarker, rep.ManifestMarker)
 	}
-	if rep.Marker > 0 && rep.ManifestMarker < rep.Marker {
+	if rep.Marker > base && rep.ManifestMarker < rep.Marker {
 		rep.add("manifest-missing-record", Warn, true,
 			"marker %d has no covering deletion record (manifest predates it or was lost); repair hydrates one from the snapshot checkpoint",
 			rep.Marker)
@@ -271,8 +278,8 @@ func repair(dir string, opts Options) ([]string, error) {
 		return nil, err
 	}
 	log := s.DeletionLog()
-	if log != nil && marker > 0 {
-		if act, err := hydrate(s, log, marker); err != nil {
+	if log != nil && marker > opts.BaseMarker {
+		if act, err := hydrate(s, log, marker, opts.BaseMarker); err != nil {
 			return nil, err
 		} else if act != "" {
 			actions = append(actions, act)
@@ -294,9 +301,9 @@ func repair(dir string, opts Options) ([]string, error) {
 // checkpoint — the marker block, "a trusted anchor ... already approved
 // by the anchor nodes" (§IV-C) — supplies what the lost record knew;
 // the per-entry tombstones are gone for good, which Hydrated records.
-func hydrate(s *segment.Store, log *manifest.Log, marker uint64) (string, error) {
-	covered := uint64(0)
-	if head, ok := log.Head(); ok {
+func hydrate(s *segment.Store, log *manifest.Log, marker, base uint64) (string, error) {
+	covered := base
+	if head, ok := log.Head(); ok && head.NewMarker > covered {
 		covered = head.NewMarker
 	}
 	if covered >= marker {

@@ -1,0 +1,149 @@
+package doctor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/seldel/seldel/internal/store/segment"
+)
+
+// PartitionedReport aggregates one doctor Report per partition store
+// under a partitioned root (a directory carrying the PARTITIONS
+// metadata file with per-partition segment stores in p*/ beneath it).
+type PartitionedReport struct {
+	Root string
+	// Partitions holds one report per p*/ subdirectory, in name order.
+	Partitions []*Report
+	// Findings are root-level issues (missing partition directories,
+	// stray files) that no single partition report can carry.
+	Findings []Finding
+}
+
+// Clean reports whether the root and every partition passed.
+func (r *PartitionedReport) Clean() bool {
+	for _, f := range r.Findings {
+		if f.Severity > Info {
+			return false
+		}
+	}
+	for _, p := range r.Partitions {
+		if !p.Clean() {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the aggregated report: a root header followed by each
+// partition in the single-store console format.
+func (r *PartitionedReport) Write(w io.Writer) error {
+	fmt.Fprintf(w, "doctor: %s (partitioned root, %d partitions)\n", r.Root, len(r.Partitions))
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  %s: %s (%s)\n", f.Severity, f.Detail, f.Code)
+	}
+	for _, p := range r.Partitions {
+		if err := p.Write(w); err != nil {
+			return err
+		}
+	}
+	if r.Clean() {
+		fmt.Fprintf(w, "doctor: partitioned root clean\n")
+	} else {
+		fmt.Fprintf(w, "doctor: partitioned root has issues\n")
+	}
+	return nil
+}
+
+// IsPartitionedRoot reports whether dir is a partitioned store root
+// (carries the PARTITIONS metadata file).
+func IsPartitionedRoot(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, segment.PartitionsMetaName))
+	return err == nil
+}
+
+// readStride parses the root's PARTITIONS metadata for the stripe
+// width. A zero stride with a non-nil finding means the meta file was
+// unreadable; callers then fall back to BaseMarker 0 for every
+// partition (noisy but safe — false positives, never silence).
+func readStride(root string) (uint64, *Finding) {
+	raw, err := os.ReadFile(filepath.Join(root, segment.PartitionsMetaName))
+	if err != nil {
+		return 0, &Finding{
+			Code:     "partitions-meta-unreadable",
+			Severity: Warn,
+			Detail:   fmt.Sprintf("cannot read %s: %v", segment.PartitionsMetaName, err),
+		}
+	}
+	var meta struct {
+		Stride uint64 `json:"stride"`
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return 0, &Finding{
+			Code:     "partitions-meta-corrupt",
+			Severity: Warn,
+			Detail:   fmt.Sprintf("cannot parse %s: %v", segment.PartitionsMetaName, err),
+		}
+	}
+	return meta.Stride, nil
+}
+
+// RunPartitioned runs the doctor over every partition store beneath a
+// partitioned root, applying the same options to each. An error is
+// returned only when the root itself cannot be examined; per-partition
+// drift lands in the per-partition findings.
+func RunPartitioned(root string, opts Options) (*PartitionedReport, error) {
+	if !IsPartitionedRoot(root) {
+		return nil, fmt.Errorf("doctor: %s is not a partitioned store root (no %s)", root, segment.PartitionsMetaName)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("doctor: read root: %w", err)
+	}
+	rep := &PartitionedReport{Root: root}
+	// Block numbers are striped: partition p's genesis sits at p·stride,
+	// so a pristine partition legitimately has a marker far above zero.
+	// Each partition's doctor pass needs that base or it misreads the
+	// stripe offset as lost manifest history.
+	stride, sfind := readStride(root)
+	if sfind != nil {
+		rep.Findings = append(rep.Findings, *sfind)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "p") {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		rep.Findings = append(rep.Findings, Finding{
+			Code:     "no-partitions",
+			Severity: Error,
+			Detail:   "partitioned root has no p*/ partition directories",
+		})
+		return rep, nil
+	}
+	for _, name := range dirs {
+		popts := opts
+		if idx, err := strconv.Atoi(name[1:]); err == nil && idx >= 0 {
+			popts.BaseMarker = uint64(idx) * stride
+		}
+		pr, err := Run(filepath.Join(root, name), popts)
+		if err != nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Code:     "partition-unreadable",
+				Severity: Error,
+				Detail:   fmt.Sprintf("%s: %v", name, err),
+			})
+			continue
+		}
+		rep.Partitions = append(rep.Partitions, pr)
+	}
+	return rep, nil
+}

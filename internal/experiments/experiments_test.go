@@ -316,6 +316,23 @@ func TestPipelineBenchStructure(t *testing.T) {
 		t.Errorf("headline proofs rate %f does not mirror proofs row %f",
 			report.TombstoneProofsPerSec, report.ManifestResults[2].RatePerSec)
 	}
+	// The partition dimension must cover 1/2/4 sub-chains at 16
+	// producers, and the headline scaling factor must mirror the rows.
+	if len(report.PartitionResults) != 3 {
+		t.Fatalf("%d partition results, want 3", len(report.PartitionResults))
+	}
+	wantParts := []int{1, 2, 4}
+	for i, r := range report.PartitionResults {
+		if r.Partitions != wantParts[i] {
+			t.Errorf("partition result %d partitions = %d, want %d", i, r.Partitions, wantParts[i])
+		}
+		if r.Producers != 16 || r.Entries == 0 || r.OpsPerSec <= 0 {
+			t.Errorf("partition result %d implausible: %+v", i, r)
+		}
+	}
+	if want := report.PartitionResults[2].OpsPerSec / report.PartitionResults[0].OpsPerSec; report.PartitionScaling4x != want {
+		t.Errorf("scaling headline %f does not mirror rows (%f)", report.PartitionScaling4x, want)
+	}
 }
 
 func TestPipelineJSONWritten(t *testing.T) {

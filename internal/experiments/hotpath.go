@@ -137,9 +137,9 @@ func submitAll(c *chain.Chain, entries []*block.Entry, p int) error {
 			receipts := make([]mempool.Receipt, 0, len(entries)/p+1)
 			for i := w; i < len(entries); i += p {
 				// Re-slice rather than passing the entry alone: variadic
-			// boxing would charge one harness allocation per submission
-			// to the measured section.
-			rs, err := c.Submit(ctx, entries[i:i+1]...)
+				// boxing would charge one harness allocation per submission
+				// to the measured section.
+				rs, err := c.Submit(ctx, entries[i:i+1]...)
 				if err != nil {
 					errCh <- err
 					return

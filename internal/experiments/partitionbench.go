@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/mempool"
+	"github.com/seldel/seldel/internal/partition"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// This file benchmarks the partitioned write path (PR 8): the same
+// 16-producer submission workload is pushed through a partition.Chain
+// at 1, 2, and 4 partitions. Each producer writes under its own owner
+// key, so the consistent-hash router spreads the load across the
+// sub-chains; the single-partition row goes through the same façade so
+// the comparison isolates the sharding win, not router overhead. All
+// rows share one verification pool, matching production wiring.
+
+// PartitionResult is one measured partitioned-submission configuration.
+type PartitionResult struct {
+	// Partitions is the number of sub-chains the router spread over.
+	Partitions int `json:"partitions"`
+	// Producers is the number of concurrent submitting goroutines.
+	Producers int `json:"producers"`
+	// Entries is the total number of entries written.
+	Entries int `json:"entries"`
+	// Seconds is the measured wall-clock time.
+	Seconds float64 `json:"seconds"`
+	// OpsPerSec is Entries / Seconds.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// partitionOwners builds one registry with `producers` distinct owner
+// keys and pre-signs each producer's share of the workload, keeping
+// signing cost out of the measured section.
+func partitionOwners(producers, perProducer int) (*identity.Registry, [][]*block.Entry, error) {
+	reg := identity.NewRegistry()
+	shares := make([][]*block.Entry, producers)
+	for w := 0; w < producers; w++ {
+		name := fmt.Sprintf("owner-%02d", w)
+		kp := identity.Deterministic(name, "seldel-partition-bench")
+		if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+			return nil, nil, err
+		}
+		share := make([]*block.Entry, perProducer)
+		for i := range share {
+			share[i] = block.NewData(name, []byte(fmt.Sprintf("part-load-%02d-%06d", w, i))).Sign(kp)
+		}
+		shares[w] = share
+	}
+	return reg, shares, nil
+}
+
+// measurePartitions runs the pre-signed shares through a fresh
+// partition.Chain with p sub-chains, one producer goroutine per share.
+func measurePartitions(reg *identity.Registry, shares [][]*block.Entry, p int) (PartitionResult, error) {
+	pool := freshPool(0, true)
+	defer pool.Close()
+	pc, err := partition.New(partition.Config{
+		Partitions: p,
+		Chain: chain.Config{
+			SequenceLength: 8,
+			Registry:       reg,
+			Clock:          simclock.NewLogical(0),
+			Verifier:       pool,
+		},
+	})
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	defer pc.Close()
+	ctx := context.Background()
+	total := 0
+	for _, s := range shares {
+		total += len(s)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(shares))
+	start := time.Now()
+	for _, share := range shares {
+		wg.Add(1)
+		go func(share []*block.Entry) {
+			defer wg.Done()
+			receipts := make([]mempool.Receipt, 0, len(share))
+			for _, e := range share {
+				rs, err := pc.Submit(ctx, e)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				receipts = append(receipts, rs...)
+			}
+			for _, r := range receipts {
+				if _, err := r.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		return PartitionResult{}, err
+	}
+	if err := pc.VerifyIntegrity(); err != nil {
+		return PartitionResult{}, fmt.Errorf("partition bench: integrity at %d partitions: %w", p, err)
+	}
+	return PartitionResult{
+		Partitions: p,
+		Producers:  len(shares),
+		Entries:    total,
+		Seconds:    elapsed,
+		OpsPerSec:  float64(total) / elapsed,
+	}, nil
+}
+
+// measurePartitionDimension measures submit@16 at 1, 2, and 4
+// partitions (best of three per row) and returns the rows plus the
+// 4-partition-over-1 scaling factor.
+func measurePartitionDimension(n int) ([]PartitionResult, float64, error) {
+	const producers = 16
+	perProducer := n / producers
+	if perProducer == 0 {
+		perProducer = 1
+	}
+	reg, shares, err := partitionOwners(producers, perProducer)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []PartitionResult
+	for _, p := range []int{1, 2, 4} {
+		var top PartitionResult
+		for i := 0; i < 3; i++ {
+			r, err := measurePartitions(reg, shares, p)
+			if err != nil {
+				return nil, 0, fmt.Errorf("partition dimension (%d partitions): %w", p, err)
+			}
+			if r.OpsPerSec > top.OpsPerSec {
+				top = r
+			}
+		}
+		out = append(out, top)
+	}
+	scaling := 0.0
+	if out[0].OpsPerSec > 0 {
+		scaling = out[len(out)-1].OpsPerSec / out[0].OpsPerSec
+	}
+	return out, scaling, nil
+}

@@ -119,6 +119,14 @@ type PipelineReport struct {
 	// HotPathBaselinePR6 pins the same harness's numbers at the PR 6
 	// HEAD, so the report carries its own before/after comparison.
 	HotPathBaselinePR6 *HotPathBaseline `json:"hotpath_baseline_pr6,omitempty"`
+	// PartitionResults is the partitioned-chain dimension (PR 8): the
+	// 16-producer submission workload through the partition router at
+	// 1, 2, and 4 sub-chains sharing one verification pool.
+	PartitionResults []PartitionResult `json:"partition_results,omitempty"`
+	// PartitionScaling4x is the 4-partition row's throughput over the
+	// single-partition row — the headline sharding win the bench gate
+	// guards on multi-core hardware.
+	PartitionScaling4x float64 `json:"partition_scaling_4x,omitempty"`
 	// AppendAllocsPerOp is the pipelined append path's allocations per
 	// entry — the headline the bench gate guards (lower is better).
 	AppendAllocsPerOp float64 `json:"append_allocs_per_op,omitempty"`
@@ -411,6 +419,13 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	}
 	report.BatchVerifyResults = br
 	report.BatchVerifySpeedup = batchSpeedup
+
+	pr, scaling, err := measurePartitionDimension(n)
+	if err != nil {
+		return nil, err
+	}
+	report.PartitionResults = pr
+	report.PartitionScaling4x = scaling
 
 	hr, err := measureHotPathDimension(n)
 	if err != nil {

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/store/segment"
+)
+
+// meta is the PARTITIONS metadata file at a partitioned store root. It
+// pins the layout parameters a reopen must match: routing and block
+// striping are deterministic functions of (partitions, sequence
+// length), so silently reopening with different values would route
+// owners to the wrong partition and mis-assign Ref ownership.
+type meta struct {
+	Version        int    `json:"version"`
+	Partitions     int    `json:"partitions"`
+	Stride         uint64 `json:"stride"`
+	SequenceLength int    `json:"sequence_length"`
+}
+
+const metaVersion = 1
+
+// subdirName returns the per-partition store directory name under the
+// root: p000, p001, ...
+func subdirName(p int) string { return fmt.Sprintf("p%03d", p) }
+
+// loadOrInitMeta reads the PARTITIONS file at root, creating it when
+// absent, and validates it against the requested layout.
+func loadOrInitMeta(root string, want meta) error {
+	path := filepath.Join(root, segment.PartitionsMetaName)
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		want.Version = metaVersion
+		out, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return fmt.Errorf("partition: encode meta: %w", err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("partition: write meta: %w", err)
+		}
+		return nil
+	case err != nil:
+		return fmt.Errorf("partition: read meta: %w", err)
+	}
+	var got meta
+	if err := json.Unmarshal(raw, &got); err != nil {
+		return fmt.Errorf("partition: parse %s: %w", path, err)
+	}
+	if got.Version != metaVersion {
+		return fmt.Errorf("%w: %s version %d, this build understands %d",
+			chain.ErrConfig, path, got.Version, metaVersion)
+	}
+	if got.Partitions != want.Partitions || got.SequenceLength != want.SequenceLength || got.Stride != want.Stride {
+		return fmt.Errorf("%w: store at %s was created with partitions=%d l=%d stride=%d, reopened with partitions=%d l=%d stride=%d",
+			chain.ErrConfig, root, got.Partitions, got.SequenceLength, got.Stride,
+			want.Partitions, want.SequenceLength, want.Stride)
+	}
+	return nil
+}
+
+// IsStoreRoot reports whether dir is a partitioned store root (has a
+// PARTITIONS metadata file).
+func IsStoreRoot(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, segment.PartitionsMetaName))
+	return err == nil
+}

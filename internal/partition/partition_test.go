@@ -1,0 +1,400 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/simclock"
+	"github.com/seldel/seldel/internal/store/segment"
+)
+
+// testEnv bundles a registry with deterministic participants.
+type testEnv struct {
+	registry *identity.Registry
+	keys     map[string]*identity.KeyPair
+}
+
+func newEnv(t *testing.T, users ...string) *testEnv {
+	t.Helper()
+	env := &testEnv{
+		registry: identity.NewRegistry(),
+		keys:     make(map[string]*identity.KeyPair),
+	}
+	for _, u := range users {
+		kp := identity.Deterministic(u, "partition-test")
+		role := identity.RoleUser
+		if u == "admin" {
+			role = identity.RoleAdmin
+		}
+		if err := env.registry.RegisterKey(kp, role); err != nil {
+			t.Fatal(err)
+		}
+		env.keys[u] = kp
+	}
+	return env
+}
+
+func (e *testEnv) data(user, payload string) *block.Entry {
+	return block.NewData(user, []byte(payload)).Sign(e.keys[user])
+}
+
+func (e *testEnv) del(user string, target block.Ref) *block.Entry {
+	return block.NewDeletion(user, target).Sign(e.keys[user])
+}
+
+// owners is a user set large enough that jump hashing spreads it over
+// every partition in the 4-way tests.
+var owners = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+
+func testConfig(env *testEnv, partitions int) Config {
+	return Config{
+		Partitions: partitions,
+		Chain: chain.Config{
+			SequenceLength: 3,
+			MaxSequences:   2,
+			Registry:       env.registry,
+		},
+	}
+}
+
+func newPartitioned(t *testing.T, cfg Config) *Chain {
+	t.Helper()
+	pc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	return pc
+}
+
+// deleteAndTruncate seals one entry on its owner's partition, deletes
+// it, and churns that partition until the truncation physically erases
+// it.
+func deleteAndTruncate(t *testing.T, pc *Chain, env *testEnv, user, tag string) block.Ref {
+	t.Helper()
+	ctx := context.Background()
+	sealed, err := pc.SubmitWait(ctx, env.data(user, "victim-"+tag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sealed[0].Ref
+	if _, err := pc.SubmitWait(ctx, env.del(user, victim)); err != nil {
+		t.Fatal(err)
+	}
+	p := pc.Owner(victim)
+	for i := 0; pc.Part(p).Marker() <= victim.Block; i++ {
+		if i > 64 {
+			t.Fatalf("truncation never passed the victim on partition %d", p)
+		}
+		if _, err := pc.SubmitWait(ctx, env.data(user, fmt.Sprintf("churn-%s-%d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.Part(p).CompactWait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return victim
+}
+
+func TestRoutingIsDeterministicAndStriped(t *testing.T) {
+	env := newEnv(t, owners...)
+	pc := newPartitioned(t, testConfig(env, 4))
+
+	seen := make(map[int]bool)
+	for _, u := range owners {
+		e := env.data(u, "probe")
+		p := pc.Route(e)
+		if p < 0 || p >= 4 {
+			t.Fatalf("route(%s) = %d out of range", u, p)
+		}
+		if pc.Route(env.data(u, "other-payload")) != p {
+			t.Errorf("owner %s routes inconsistently", u)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("8 owners landed on %d partition(s); hash is not spreading", len(seen))
+	}
+	// A deletion request routes by its target's stripe, not the
+	// requester's hash.
+	stride := pc.StrideWidth()
+	for p := 0; p < 4; p++ {
+		target := block.Ref{Block: uint64(p)*stride + 5, Entry: 0}
+		if got := pc.Route(env.del("alice", target)); got != p {
+			t.Errorf("deletion targeting stripe %d routed to %d", p, got)
+		}
+	}
+	// Block numbering: partition i's genesis sits at i·stride.
+	for p := 0; p < 4; p++ {
+		if got := pc.Part(p).Marker(); got != uint64(p)*stride {
+			t.Errorf("partition %d marker %d, want %d", p, got, uint64(p)*stride)
+		}
+	}
+}
+
+func TestSubmitFansOutAndRefsStayUnique(t *testing.T) {
+	env := newEnv(t, owners...)
+	pc := newPartitioned(t, testConfig(env, 4))
+	ctx := context.Background()
+
+	var entries []*block.Entry
+	for round := 0; round < 4; round++ {
+		for _, u := range owners {
+			entries = append(entries, env.data(u, fmt.Sprintf("%s-%d", u, round)))
+		}
+	}
+	sealed, err := pc.SubmitWait(ctx, entries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(entries) {
+		t.Fatalf("%d seal results for %d entries", len(sealed), len(entries))
+	}
+	refs := make(map[block.Ref]bool)
+	for i, s := range sealed {
+		if s.Ref.IsZero() {
+			t.Fatalf("entry %d has no ref", i)
+		}
+		if refs[s.Ref] {
+			t.Fatalf("duplicate ref %s across partitions", s.Ref)
+		}
+		refs[s.Ref] = true
+		// The sealed ref must live in the partition the router chose.
+		if want, got := pc.Route(entries[i]), pc.Owner(s.Ref); want != got {
+			t.Errorf("entry %d routed to %d but sealed in stripe %d", i, want, got)
+		}
+	}
+	// The merged iterator yields every live entry exactly once.
+	count := 0
+	for ref := range pc.EntriesSeq() {
+		if !refs[ref] {
+			continue // carried genesis-side entries etc.
+		}
+		count++
+	}
+	if count != len(entries) {
+		t.Errorf("EntriesSeq yielded %d of %d submitted entries", count, len(entries))
+	}
+	if err := pc.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProveDeletedVerifiesAcrossPartitions(t *testing.T) {
+	env := newEnv(t, owners...)
+	pc := newPartitioned(t, testConfig(env, 4))
+	ctx := context.Background()
+
+	victims := make([]block.Ref, 0, len(owners))
+	for _, u := range owners {
+		victims = append(victims, deleteAndTruncate(t, pc, env, u, u))
+	}
+	parts := make(map[int]bool)
+	for _, v := range victims {
+		parts[pc.Owner(v)] = true
+		proof, err := pc.ProveDeleted(ctx, v)
+		if err != nil {
+			t.Fatalf("prove %s: %v", v, err)
+		}
+		if err := proof.Verify(); err != nil {
+			t.Fatalf("verify %s: %v", v, err)
+		}
+		if proof.Partition != pc.Owner(v) {
+			t.Errorf("proof claims partition %d, stripe says %d", proof.Partition, pc.Owner(v))
+		}
+		// The proof chains to the spine head (or a prefix of it).
+		heads := pc.SpineBlocks()
+		found := false
+		for _, b := range heads {
+			if b.Hash() == proof.HeadHash() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("proof head %s not on the spine", proof.HeadHash().Short())
+		}
+		// Tampering with the record chain must break verification.
+		bad := *proof
+		bad.PriorChain[0] ^= 1
+		if bad.Verify() == nil {
+			t.Error("tampered PriorChain still verifies")
+		}
+		bad = *proof
+		bad.Anchor.RecordChain[0] ^= 1
+		if bad.Verify() == nil {
+			t.Error("tampered anchor still verifies")
+		}
+	}
+	if len(parts) < 2 {
+		t.Fatalf("victims landed on %d partition(s); cross-partition property untested", len(parts))
+	}
+	if err := pc.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Merged tombstones cover every victim, ordered by time.
+	recs, err := pc.Tombstones(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range victims {
+		covered := false
+		for _, r := range recs {
+			if r.Covers(v.Block) {
+				if _, ok := r.FindTombstone(v); ok {
+					covered = true
+					break
+				}
+			}
+		}
+		if !covered {
+			t.Errorf("merged tombstones miss victim %s", v)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Errorf("merged records out of time order at %d", i)
+		}
+	}
+	floors := pc.ResurrectionFloors()
+	if len(floors) != 4 {
+		t.Fatalf("%d floors for 4 partitions", len(floors))
+	}
+}
+
+func TestRestartFromPartitionedStore(t *testing.T) {
+	env := newEnv(t, owners...)
+	dir := t.TempDir()
+	cfg := testConfig(env, 3)
+	cfg.Dir = dir
+	cfg.Chain.Clock = simclock.NewLogical(0)
+	pc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	victim := deleteAndTruncate(t, pc, env, "alice", "persisted")
+	sealed, err := pc.SubmitWait(ctx, env.data("bob", "survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor := sealed[0].Ref
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a different layout is refused.
+	bad := testConfig(env, 4)
+	bad.Dir = dir
+	if _, err := New(bad); !errors.Is(err, chain.ErrConfig) {
+		t.Fatalf("layout mismatch accepted: %v", err)
+	}
+
+	// Reopening with the same layout restores chains, tombstones, and
+	// the spine's record trackers.
+	cfg2 := testConfig(env, 3)
+	cfg2.Dir = dir
+	cfg2.Chain.Clock = simclock.NewLogical(1 << 20)
+	pc2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	found := false
+	for ref := range pc2.EntriesSeq() {
+		if ref == survivor {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("survivor entry lost across restart")
+	}
+	proof, err := pc2.ProveDeleted(ctx, victim)
+	if err != nil {
+		t.Fatalf("prove after restart: %v", err)
+	}
+	if err := proof.Verify(); err != nil {
+		t.Fatalf("verify after restart: %v", err)
+	}
+	if err := pc2.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentOpenRefusesPartitionedRoot(t *testing.T) {
+	env := newEnv(t, "alice")
+	dir := t.TempDir()
+	cfg := testConfig(env, 2)
+	cfg.Dir = dir
+	pc := newPartitioned(t, cfg)
+	if !IsStoreRoot(dir) {
+		t.Fatal("root not marked partitioned")
+	}
+	_ = pc
+	if _, err := segment.Open(dir, segment.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "partitioned store root") {
+		t.Fatalf("segment.Open on a partitioned root: %v", err)
+	}
+}
+
+func TestStatsAndPipelineStatsMerge(t *testing.T) {
+	env := newEnv(t, owners...)
+	pc := newPartitioned(t, testConfig(env, 4))
+	ctx := context.Background()
+	var entries []*block.Entry
+	for _, u := range owners {
+		entries = append(entries, env.data(u, "stats-"+u))
+	}
+	if _, err := pc.SubmitWait(ctx, entries...); err != nil {
+		t.Fatal(err)
+	}
+	st := pc.Stats()
+	if st.LiveEntries < len(owners) {
+		t.Errorf("merged LiveEntries %d < %d submitted", st.LiveEntries, len(owners))
+	}
+	var appended uint64
+	for p := 0; p < 4; p++ {
+		appended += pc.Part(p).Stats().AppendedBlocks
+	}
+	if st.AppendedBlocks != appended {
+		t.Errorf("merged AppendedBlocks %d, per-partition sum %d", st.AppendedBlocks, appended)
+	}
+	ps := pc.PipelineStats()
+	if ps.Entries < uint64(len(owners)) {
+		t.Errorf("merged pipeline Entries %d < %d", ps.Entries, len(owners))
+	}
+	// The verify snapshot is the shared pool's, not a per-partition sum:
+	// it must equal one partition's snapshot counters, not four times it.
+	single := pc.Part(0).PipelineStats().Verify
+	if ps.Verify.Workers != single.Workers {
+		t.Errorf("merged Verify.Workers %d, single-pool snapshot %d", ps.Verify.Workers, single.Workers)
+	}
+	var depth, capSum int
+	for p := 0; p < 4; p++ {
+		s := pc.Part(p).PipelineStats()
+		depth += s.QueueDepth
+		capSum += s.QueueCap
+	}
+	if ps.QueueCap != capSum {
+		t.Errorf("merged QueueCap %d, sum %d", ps.QueueCap, capSum)
+	}
+	_ = depth
+}
+
+func TestFacadeLevelErrors(t *testing.T) {
+	if _, err := New(Config{Partitions: 0}); !errors.Is(err, chain.ErrConfig) {
+		t.Errorf("zero partitions accepted: %v", err)
+	}
+	env := newEnv(t, "alice")
+	cfg := testConfig(env, 2)
+	cfg.Chain.Durability = chain.Durability{Mode: chain.DurabilityGroup}
+	if _, err := New(cfg); !errors.Is(err, chain.ErrConfig) {
+		t.Errorf("group durability without Dir accepted: %v", err)
+	}
+}

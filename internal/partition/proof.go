@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/codec"
+)
+
+// Proof is the partitioned deletion proof: the owning partition's
+// self-contained DeletedProof, tied into the spine by the record digest
+// chain. Verify needs no chain access — it recomputes the record chain
+// from the inner proof's deletion record and the surrounding digests,
+// matches it against the embedded anchor, checks the anchor's
+// membership in its spine block, and walks the spine links up to the
+// proof's head. An auditor then only needs HeadHash() to match a spine
+// head obtained out of band (or a later one that links back to it).
+type Proof struct {
+	// Partition is the partition that owned (and erased) the entry.
+	Partition int
+	// Stride is the block-number stripe width, tying Inner.Ref's block
+	// number to Partition.
+	Stride uint64
+	// Inner is the owning partition's self-contained deletion proof.
+	Inner *chain.DeletedProof
+	// PriorChain is the record digest chain over the records preceding
+	// Inner.Record in the partition's deletion stream.
+	PriorChain codec.Hash
+	// LaterDigests are the digests of the records between Inner.Record
+	// and the anchor, oldest first.
+	LaterDigests []codec.Hash
+	// Anchor is the spine anchor covering Inner.Record: folding
+	// PriorChain, Inner.Record's digest, and LaterDigests must
+	// reproduce Anchor.RecordChain.
+	Anchor Anchor
+	// AnchorBlock is the spine block sealing Anchor.
+	AnchorBlock SpineBlock
+	// Path are the spine blocks after AnchorBlock up to the proof-time
+	// head, hash-linked; empty when AnchorBlock was the head.
+	Path []SpineBlock
+}
+
+// ProveDeleted builds the cross-partition deletion proof for ref: the
+// owning partition's DeletedProof plus the spine linkage showing the
+// deletion record is anchored. The partition is synced into the spine
+// first, so a record sealed moments ago is anchored before proving.
+func (pc *Chain) ProveDeleted(ctx context.Context, ref block.Ref) (*Proof, error) {
+	p := pc.Owner(ref)
+	if p < 0 {
+		return nil, fmt.Errorf("%w: %s is outside every partition stripe", chain.ErrNotFound, ref)
+	}
+	inner, err := pc.parts[p].ProveDeleted(ref)
+	if err != nil {
+		return nil, err
+	}
+	if err := pc.syncPartition(ctx, p); err != nil {
+		return nil, err
+	}
+	d := recordDigest(&inner.Record)
+	pc.spine.mu.Lock()
+	defer pc.spine.mu.Unlock()
+	t := pc.spine.trackers[p]
+	k, ok := t.pos[d]
+	if !ok {
+		return nil, fmt.Errorf("%w: record of %s not in spine tracker", errProofState, ref)
+	}
+	// The earliest spine block whose anchor for p covers position k.
+	bi, anchor, ok := pc.spine.coveringAnchorLocked(p, uint64(k))
+	if !ok {
+		return nil, fmt.Errorf("%w: no anchor covers record %d of partition %d", errProofState, k, p)
+	}
+	proof := &Proof{
+		Partition:    p,
+		Stride:       pc.stride,
+		Inner:        inner,
+		PriorChain:   t.prefix[k],
+		LaterDigests: append([]codec.Hash(nil), t.digests[k+1:anchor.Records]...),
+		Anchor:       anchor,
+		AnchorBlock:  pc.spine.blocks[bi],
+		Path:         append([]SpineBlock(nil), pc.spine.blocks[bi+1:]...),
+	}
+	return proof, nil
+}
+
+// coveringAnchorLocked finds the earliest spine block carrying an
+// anchor of partition p whose record chain covers position k. Caller
+// holds the spine lock.
+func (s *spine) coveringAnchorLocked(p int, k uint64) (int, Anchor, bool) {
+	for bi := range s.blocks {
+		for _, a := range s.blocks[bi].Anchors {
+			if a.Partition == p && a.Records > k {
+				return bi, a, true
+			}
+		}
+	}
+	return 0, Anchor{}, false
+}
+
+// Verify checks the proof's internal consistency: the inner proof
+// verifies on its own, the reference's block stripe matches the claimed
+// partition, the record digest chain reproduces the anchor's
+// RecordChain, the anchor is sealed in AnchorBlock, and Path hash-links
+// AnchorBlock to the proof's head. Compare HeadHash() against a spine
+// head obtained out of band to pin the proof to a live deployment.
+func (p *Proof) Verify() error {
+	if p.Inner == nil {
+		return fmt.Errorf("partition: proof has no inner deletion proof")
+	}
+	if err := p.Inner.Verify(); err != nil {
+		return err
+	}
+	if p.Stride == 0 || int(p.Inner.Ref.Block/p.Stride) != p.Partition {
+		return fmt.Errorf("partition: ref %s is not in partition %d's stripe", p.Inner.Ref, p.Partition)
+	}
+	if p.Anchor.Partition != p.Partition {
+		return fmt.Errorf("partition: anchor is for partition %d, proof claims %d", p.Anchor.Partition, p.Partition)
+	}
+	d := recordDigest(&p.Inner.Record)
+	chainHash := codec.HashConcat(p.PriorChain[:], d[:])
+	for _, ld := range p.LaterDigests {
+		chainHash = codec.HashConcat(chainHash[:], ld[:])
+	}
+	if chainHash != p.Anchor.RecordChain {
+		return fmt.Errorf("partition: record chain does not reproduce the anchored digest")
+	}
+	found := false
+	for _, a := range p.AnchorBlock.Anchors {
+		if a == p.Anchor {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("partition: anchor not sealed in the proof's spine block")
+	}
+	prev := p.AnchorBlock
+	for i, b := range p.Path {
+		if b.Number != prev.Number+1 || b.PrevHash != prev.Hash() {
+			return fmt.Errorf("partition: spine path broken at step %d (block %d)", i, b.Number)
+		}
+		prev = b
+	}
+	return nil
+}
+
+// HeadHash returns the hash of the newest spine block the proof links
+// to — the value to compare against an out-of-band spine head.
+func (p *Proof) HeadHash() codec.Hash {
+	if len(p.Path) > 0 {
+		return p.Path[len(p.Path)-1].Hash()
+	}
+	return p.AnchorBlock.Hash()
+}

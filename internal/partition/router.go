@@ -1,0 +1,43 @@
+package partition
+
+// hashKey is 64-bit FNV-1a over the partition key. Deterministic across
+// processes and platforms, so a restarted deployment routes every owner
+// to the same partition it wrote to before.
+func hashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// jumpHash is the Lamping–Veach jump consistent hash: it maps key to a
+// bucket in [0, buckets) such that growing the bucket count moves only
+// ~1/buckets of the keys — the property that would let a future PR add
+// partitions without reshuffling every owner.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// Stride returns the block-number stripe width for sequence length l:
+// the largest multiple of l not exceeding 2^44. Partition i numbers its
+// blocks from i·Stride(l), so every block number (and therefore every
+// entry Ref) is globally unique and the owning partition of a Ref is
+// recovered as Ref.Block / Stride(l). Keeping the stride a multiple of
+// l preserves the chain's summary-slot rule and restore alignment; 2^44
+// blocks per partition is far beyond any realistic chain lifetime while
+// leaving room for 2^20 partitions below uint64 overflow.
+func Stride(l int) uint64 {
+	return (uint64(1) << 44) / uint64(l) * uint64(l)
+}

@@ -31,6 +31,12 @@ const (
 	// maxRecordBytes bounds a single decoded record, so a corrupt
 	// length field cannot drive allocation.
 	maxRecordBytes = 64 << 20
+	// PartitionsMetaName is the metadata file that marks a directory as
+	// a partitioned store root (per-partition stores live in p000/,
+	// p001/, ... beneath it). It is defined here rather than in the
+	// partition package so Open can recognize such roots without an
+	// import cycle.
+	PartitionsMetaName = "PARTITIONS"
 )
 
 // Options parameterize a segment store.
@@ -128,6 +134,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segment: create dir: %w", err)
+	}
+	// A partitioned store root holds per-partition stores in p000/,
+	// p001/, ... subdirectories plus a PARTITIONS metadata file; it is
+	// not itself a segment store. Opening it directly would create a
+	// stray empty store alongside the partitions, so refuse loudly.
+	if _, err := os.Stat(filepath.Join(dir, PartitionsMetaName)); err == nil {
+		return nil, fmt.Errorf("segment: %s is a partitioned store root (has %s); open its p*/ subdirectories or use the partition package", dir, PartitionsMetaName)
 	}
 	s := &Store{
 		dir:   dir,

@@ -1,0 +1,133 @@
+package seldel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestPartitionedFacade drives the partitioned chain end to end through
+// the public API: WithPartitions routing, fan-out Submit, per-partition
+// deletion, spine-verified proofs, the merged stats/tombstone views,
+// the partitioned doctor, and restart from the per-partition stores.
+func TestPartitionedFacade(t *testing.T) {
+	reg := NewRegistry()
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	keys := map[string]*KeyPair{}
+	for _, u := range users {
+		kp := DeterministicKey(u, "partition-facade")
+		if err := reg.RegisterKey(kp, RoleUser); err != nil {
+			t.Fatal(err)
+		}
+		keys[u] = kp
+	}
+	root := filepath.Join(t.TempDir(), "store")
+	open := func() *PartitionedChain {
+		t.Helper()
+		pc, err := NewPartitioned(reg,
+			WithPartitions(4, WithPartitionKey(func(e *Entry) string { return e.Owner })),
+			WithSequenceLength(3),
+			WithMaxSequences(2),
+			WithSegmentStore(root),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc
+	}
+	pc := open()
+	ctx := context.Background()
+
+	var entries []*Entry
+	for _, u := range users {
+		entries = append(entries, NewData(u, []byte("payload-"+u)).Sign(keys[u]))
+	}
+	sealed, err := pc.SubmitWait(ctx, entries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sealed[0].Ref
+	if _, err := pc.SubmitWait(ctx, NewDeletion("alice", victim).Sign(keys["alice"])); err != nil {
+		t.Fatal(err)
+	}
+	p := pc.Owner(victim)
+	for i := 0; pc.Part(p).Marker() <= victim.Block; i++ {
+		if i > 64 {
+			t.Fatal("victim never truncated")
+		}
+		if _, err := pc.SubmitWait(ctx, NewData("alice", []byte(fmt.Sprintf("churn-%d", i))).Sign(keys["alice"])); err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.CompactWait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proof, err := pc.ProveDeleted(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(); err != nil {
+		t.Fatalf("spine proof: %v", err)
+	}
+	if stats := pc.Stats(); stats.ForgottenEntries == 0 {
+		t.Error("merged stats show no forgotten entries")
+	}
+	if ps := pc.PipelineStats(); ps.Entries == 0 {
+		t.Error("merged pipeline stats empty")
+	}
+	recs, err := pc.Tombstones(ctx)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("merged tombstones: %d, %v", len(recs), err)
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The root is a partitioned store layout the doctor understands.
+	if !IsPartitionedStoreRoot(root) {
+		t.Fatal("root not detected as partitioned")
+	}
+	rep, err := DoctorPartitioned(root, DoctorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("doctor found issues on a clean shutdown")
+	}
+	if len(rep.Partitions) != 4 {
+		t.Errorf("doctor saw %d partitions, want 4", len(rep.Partitions))
+	}
+
+	// Restart: proofs and integrity survive the round trip.
+	pc2 := open()
+	defer pc2.Close()
+	proof2, err := pc2.ProveDeleted(ctx, victim)
+	if err != nil {
+		t.Fatalf("prove after restart: %v", err)
+	}
+	if err := proof2.Verify(); err != nil {
+		t.Fatalf("verify after restart: %v", err)
+	}
+	if err := pc2.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionOptionGuards pins the façade-level misuse errors.
+func TestPartitionOptionGuards(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := New(reg, WithPartitions(2)); !errors.Is(err, ErrConfig) {
+		t.Errorf("New accepted WithPartitions: %v", err)
+	}
+	if _, err := NewPartitioned(reg); !errors.Is(err, ErrConfig) {
+		t.Errorf("NewPartitioned without WithPartitions: %v", err)
+	}
+	if _, err := NewPartitioned(reg, WithPartitions(2), WithStore(NewMemStore())); !errors.Is(err, ErrConfig) {
+		t.Errorf("NewPartitioned accepted WithStore: %v", err)
+	}
+	if _, err := NewPartitioned(reg, WithPartitions(0)); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero partitions accepted: %v", err)
+	}
+}

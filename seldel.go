@@ -73,6 +73,7 @@ import (
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/node"
+	"github.com/seldel/seldel/internal/partition"
 	"github.com/seldel/seldel/internal/schema"
 	"github.com/seldel/seldel/internal/simclock"
 	"github.com/seldel/seldel/internal/store"
@@ -237,6 +238,30 @@ type (
 	DoctorReport = doctor.Report
 	// DoctorFinding is one issue found by Doctor.
 	DoctorFinding = doctor.Finding
+	// PartitionedDoctorReport aggregates per-partition doctor reports
+	// over a partitioned store root.
+	PartitionedDoctorReport = doctor.PartitionedReport
+)
+
+// Partitioned-chain types: the sharded write path of NewPartitioned.
+// Entries route by consistent hash of a partition key across N
+// sub-chains (each the full single-chain pipeline over its own
+// block-number stripe), and every truncation anchors the partition's
+// head into a spine chain that cross-partition deletion proofs verify
+// against. See README "Partitioning" and docs/ARCHITECTURE.md §8.
+type (
+	// PartitionedChain is the router + sub-chains + spine aggregate
+	// built by NewPartitioned.
+	PartitionedChain = partition.Chain
+	// SpineBlock is one block of the cross-partition spine chain.
+	SpineBlock = partition.SpineBlock
+	// SpineAnchor is one partition's head commitment inside a
+	// SpineBlock.
+	SpineAnchor = partition.Anchor
+	// PartitionProof is PartitionedChain.ProveDeleted's result: the
+	// owning partition's DeletedProof tied into the spine by the
+	// deletion-record digest chain. Verify checks it standalone.
+	PartitionProof = partition.Proof
 )
 
 // Audit use-case types (the paper's evaluation scenario).
@@ -406,6 +431,17 @@ func OpenStoredChain(cfg Config, s Store) (*Chain, error) {
 func Doctor(dir string, opts DoctorOptions) (*DoctorReport, error) {
 	return doctor.Run(dir, opts)
 }
+
+// DoctorPartitioned runs Doctor over every partition store beneath a
+// partitioned store root (a NewPartitioned + WithSegmentStore layout:
+// PARTITIONS metadata plus p000/, p001/, ... segment stores).
+func DoctorPartitioned(root string, opts DoctorOptions) (*PartitionedDoctorReport, error) {
+	return doctor.RunPartitioned(root, opts)
+}
+
+// IsPartitionedStoreRoot reports whether dir is a partitioned store
+// root; `seldel doctor` uses it to pick the aggregated audit.
+func IsPartitionedStoreRoot(dir string) bool { return doctor.IsPartitionedRoot(dir) }
 
 // NewAuditLogger builds the login-audit logger of the paper's evaluation
 // scenario over an existing chain.
