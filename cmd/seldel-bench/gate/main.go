@@ -10,16 +10,20 @@
 // at 16 producers, segment-store restore-from-snapshot throughput,
 // cluster-replicated block throughput at 3 nodes, tombstone-proof
 // build+verify throughput, and partitioned submission throughput at 4
-// partitions. Cost guards: pipelined append allocs/entry and
-// group-commit fsyncs/block at 16 producers. A candidate-only floor
-// additionally requires 4-partition throughput to scale at least
-// -min-partition-scaling over single-partition on >= 4-CPU hardware.
-// Dimensions absent from the baseline are skipped with a printed
-// "skip:" line — never silently (see README.md here for the history).
+// partitions. Cost guards: pipelined append allocs/entry, group-commit
+// fsyncs/block at 16 producers, and open-loop p99 append latency
+// through the HTTP front-end (the serving dimension; -dimension load
+// evaluates it alone, for seldel-load -json reports that carry nothing
+// else). Candidate-only checks: the 4-partition scaling floor
+// (-min-partition-scaling, >= 4-CPU hardware) and the open-loop shed
+// ceiling (-max-shed-frac). Dimensions absent from the baseline are
+// skipped with a printed "skip:" line — never silently (see README.md
+// here for the history).
 //
 // Usage:
 //
-//	gate -baseline BENCH_PR5.json -candidate bench-smoke.json -max-regress 0.30
+//	gate -baseline BENCH_PR9.json -candidate bench-smoke.json -max-regress 0.30
+//	gate -baseline load-base.json -candidate load.json -dimension load -max-shed-frac 0.05
 package main
 
 import (
@@ -44,12 +48,18 @@ func run(args []string) error {
 	candPath := fs.String("candidate", "", "freshly measured report (e.g. bench-smoke.json)")
 	maxRegress := fs.Float64("max-regress", 0.30, "maximum allowed fractional regression per metric")
 	minScaling := fs.Float64("min-partition-scaling", 2.0, "minimum 4-partition over 1-partition submit throughput (enforced only when the candidate ran on >= 4 CPUs)")
+	maxShed := fs.Float64("max-shed-frac", -1, "maximum shed fraction on the candidate's open-loop append run (candidate-only check; negative disables)")
+	dimension := fs.String("dimension", "all", `metric subset to evaluate: "all", or "load" for reports holding only the serving dimension (seldel-load -json)`)
 	enforce := fs.Bool("enforce", false, "fail on regression even when the baseline was measured on different hardware")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *basePath == "" || *candPath == "" {
 		return fmt.Errorf("both -baseline and -candidate are required")
+	}
+	guarded, ok := metricSets[*dimension]
+	if !ok {
+		return fmt.Errorf("unknown -dimension %q (want all or load)", *dimension)
 	}
 	base, err := readReport(*basePath)
 	if err != nil {
@@ -59,10 +69,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	failures := evaluate(base, cand, *maxRegress)
-	// The partition scaling floor is candidate-only (a ratio within one
-	// report), so baseline hardware mismatch never downgrades it.
-	scaling := checkPartitionScaling(cand, *minScaling)
+	failures := evaluate(guarded, base, cand, *maxRegress)
+	// The partition scaling floor and the shed ceiling are candidate-only
+	// (ratios within one report), so baseline hardware mismatch never
+	// downgrades them.
+	var scaling []string
+	if *dimension == "all" {
+		scaling = checkPartitionScaling(cand, *minScaling)
+	}
+	scaling = append(scaling, checkShedFraction(cand, *maxShed)...)
 	if len(failures) == 0 && len(scaling) == 0 {
 		fmt.Println("bench gate passed")
 		return nil
@@ -80,7 +95,7 @@ func run(args []string) error {
 			"baseline-relative regressions above are ADVISORY — regenerate the baseline from this "+
 			"environment's bench output (e.g. the CI bench-smoke artifact) to arm the gate, or pass -enforce\n", why)
 		if len(scaling) > 0 {
-			return fmt.Errorf("partition scaling floor violated (candidate-only check; hardware mismatch does not excuse it)")
+			return fmt.Errorf("candidate-only check violated (hardware mismatch does not excuse it)")
 		}
 		return nil
 	}
@@ -109,6 +124,29 @@ func checkPartitionScaling(cand *experiments.PipelineReport, min float64) []stri
 			cand.PartitionScaling4x, min, cand.NumCPU)}
 	}
 	fmt.Printf("ok: %-45s %9.2fx (floor %.2fx)\n", "partition scaling 4p/1p", cand.PartitionScaling4x, min)
+	return nil
+}
+
+// checkShedFraction enforces the load ceiling: at the fixed open-loop
+// rate the server must answer, not shed — a rising shed fraction at an
+// unchanged offered rate means admission control is carrying load the
+// pipeline used to absorb. Candidate-only, like the scaling floor.
+func checkShedFraction(cand *experiments.PipelineReport, max float64) []string {
+	if max < 0 {
+		return nil
+	}
+	for _, r := range cand.LoadResults {
+		if r.Workload != "append" {
+			continue
+		}
+		if r.ShedFraction > max {
+			return []string{fmt.Sprintf("load shed fraction: %.3f > ceiling %.3f (offered %.0f/s, %d sheds of %d)",
+				r.ShedFraction, max, r.OfferedPerSec, r.Sheds, r.Scheduled)}
+		}
+		fmt.Printf("ok: %-45s %10.3f (ceiling %.3f)\n", "load shed fraction (append)", r.ShedFraction, max)
+		return nil
+	}
+	fmt.Println("skip: load shed ceiling — candidate has no open-loop append run; ceiling UNENFORCED this run")
 	return nil
 }
 
@@ -144,6 +182,29 @@ type metric struct {
 	name          string
 	lowerIsBetter bool
 	extract       func(*experiments.PipelineReport) (float64, bool)
+}
+
+// loadMetrics guard the serving dimension alone; the load-smoke job
+// evaluates just these (-dimension load) because seldel-load -json
+// reports carry no other dimension and a full-report baseline would
+// otherwise read every absent dimension as "silently stopped running".
+var loadMetrics = []metric{
+	{
+		name:          "serve append p99 µs @fixed-rate",
+		lowerIsBetter: true,
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			if r.ServeAppendP99Micros <= 0 {
+				return 0, false
+			}
+			return r.ServeAppendP99Micros, true
+		},
+	},
+}
+
+// metricSets maps -dimension to the metric subset it evaluates.
+var metricSets = map[string][]metric{
+	"all":  append(append([]metric{}, metrics...), loadMetrics...),
+	"load": loadMetrics,
 }
 
 var metrics = []metric{
@@ -237,9 +298,9 @@ var metrics = []metric{
 // the reader assumed is visible in the log instead of reading as full
 // coverage (that silence is how the PR 6 manifest dimension shipped
 // ungated; see README.md in this directory).
-func evaluate(base, cand *experiments.PipelineReport, maxRegress float64) []string {
+func evaluate(guarded []metric, base, cand *experiments.PipelineReport, maxRegress float64) []string {
 	var failures []string
-	for _, m := range metrics {
+	for _, m := range guarded {
 		b, ok := m.extract(base)
 		if !ok || b <= 0 {
 			fmt.Printf("skip: %-43s not in baseline — dimension UNGUARDED this run; regenerate the baseline to arm it\n", m.name)

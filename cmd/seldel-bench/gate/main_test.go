@@ -28,22 +28,22 @@ func report(submit16, restoreSnap float64) *experiments.PipelineReport {
 func TestEvaluatePasses(t *testing.T) {
 	base := report(10000, 50000)
 	// 20% down on both metrics: inside the 30% allowance.
-	if fails := evaluate(base, report(8000, 40000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, report(8000, 40000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures: %v", fails)
 	}
 	// Improvements obviously pass.
-	if fails := evaluate(base, report(20000, 90000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, report(20000, 90000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures: %v", fails)
 	}
 }
 
 func TestEvaluateFlagsRegression(t *testing.T) {
 	base := report(10000, 50000)
-	fails := evaluate(base, report(6000, 50000), 0.30)
+	fails := evaluate(metrics, base, report(6000, 50000), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "submit@16") {
 		t.Fatalf("want one submit@16 failure, got %v", fails)
 	}
-	fails = evaluate(base, report(10000, 30000), 0.30)
+	fails = evaluate(metrics, base, report(10000, 30000), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "restore-from-snapshot") {
 		t.Fatalf("want one restore failure, got %v", fails)
 	}
@@ -52,12 +52,12 @@ func TestEvaluateFlagsRegression(t *testing.T) {
 func TestEvaluateMissingMetric(t *testing.T) {
 	base := report(10000, 50000)
 	// Candidate silently lost the storage dimension: that is a failure.
-	fails := evaluate(base, report(10000, 0), 0.30)
+	fails := evaluate(metrics, base, report(10000, 0), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
 		t.Fatalf("want missing-metric failure, got %v", fails)
 	}
 	// Baseline without the dimension (pre-PR-4 file): skipped, not failed.
-	if fails := evaluate(report(10000, 0), report(10000, 0), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, report(10000, 0), report(10000, 0), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures vs old baseline: %v", fails)
 	}
 }
@@ -73,20 +73,20 @@ func TestEvaluateManifestMetric(t *testing.T) {
 		return r
 	}
 	base := withProofs(100000)
-	if fails := evaluate(base, withProofs(80000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, withProofs(80000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures: %v", fails)
 	}
-	fails := evaluate(base, withProofs(10000), 0.30)
+	fails := evaluate(metrics, base, withProofs(10000), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "tombstone proofs") {
 		t.Fatalf("want one tombstone-proofs failure, got %v", fails)
 	}
 	// Candidate silently lost the manifest dimension: that is a failure.
-	fails = evaluate(base, withProofs(0), 0.30)
+	fails = evaluate(metrics, base, withProofs(0), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
 		t.Fatalf("want missing-metric failure, got %v", fails)
 	}
 	// Baseline without the dimension (pre-PR-6 file): skipped, not failed.
-	if fails := evaluate(withProofs(0), withProofs(100000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, withProofs(0), withProofs(100000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures vs old baseline: %v", fails)
 	}
 }
@@ -113,29 +113,29 @@ func TestEvaluateCostMetrics(t *testing.T) {
 	base := withCosts(10, 0.2)
 	// Costs dropping (improvement) and small increases inside the
 	// allowance both pass.
-	if fails := evaluate(base, withCosts(5, 0.1), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, withCosts(5, 0.1), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures on improvement: %v", fails)
 	}
-	if fails := evaluate(base, withCosts(12, 0.25), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, withCosts(12, 0.25), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures inside allowance: %v", fails)
 	}
 	// Allocations blowing past the ceiling is a regression.
-	fails := evaluate(base, withCosts(20, 0.2), 0.30)
+	fails := evaluate(metrics, base, withCosts(20, 0.2), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/entry") {
 		t.Fatalf("want one allocs/entry failure, got %v", fails)
 	}
 	// So is the group committer degenerating toward fsync-per-block.
-	fails = evaluate(base, withCosts(10, 0.9), 0.30)
+	fails = evaluate(metrics, base, withCosts(10, 0.9), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "fsyncs/block") {
 		t.Fatalf("want one fsyncs/block failure, got %v", fails)
 	}
 	// Candidate silently lost the hot-path dimension: both guards fire.
-	fails = evaluate(base, withCosts(0, 0), 0.30)
+	fails = evaluate(metrics, base, withCosts(0, 0), 0.30)
 	if len(fails) != 2 || !strings.Contains(fails[0], "missing from candidate") {
 		t.Fatalf("want two missing-metric failures, got %v", fails)
 	}
 	// Baseline without the dimension (pre-PR-7 file): skipped.
-	if fails := evaluate(withCosts(0, 0), withCosts(10, 0.2), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, withCosts(0, 0), withCosts(10, 0.2), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures vs old baseline: %v", fails)
 	}
 }
@@ -154,20 +154,20 @@ func TestEvaluatePartitionMetric(t *testing.T) {
 		return r
 	}
 	base := withParts(40000)
-	if fails := evaluate(base, withParts(35000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, base, withParts(35000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures: %v", fails)
 	}
-	fails := evaluate(base, withParts(10000), 0.30)
+	fails := evaluate(metrics, base, withParts(10000), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "partitions submit@16") {
 		t.Fatalf("want one partition-rate failure, got %v", fails)
 	}
 	// Candidate silently lost the partition dimension: failure.
-	fails = evaluate(base, withParts(0), 0.30)
+	fails = evaluate(metrics, base, withParts(0), 0.30)
 	if len(fails) != 1 || !strings.Contains(fails[0], "missing from candidate") {
 		t.Fatalf("want missing-metric failure, got %v", fails)
 	}
 	// Baseline without the dimension (pre-PR-8 file): skipped, not failed.
-	if fails := evaluate(withParts(0), withParts(40000), 0.30); len(fails) != 0 {
+	if fails := evaluate(metrics, withParts(0), withParts(40000), 0.30); len(fails) != 0 {
 		t.Fatalf("unexpected failures vs old baseline: %v", fails)
 	}
 }
@@ -253,5 +253,59 @@ func TestRunAdvisoryOnHardwareMismatch(t *testing.T) {
 	samePath := write("same.json", sameHW)
 	if err := run([]string{"-baseline", basePath, "-candidate", samePath}); err == nil {
 		t.Error("matching-hardware regression should fail")
+	}
+}
+
+// TestEvaluateLoadMetric covers the PR 9 serving guard: p99 append
+// latency through the HTTP front-end is a lower-is-better cost, and
+// -dimension load evaluates it alone so a seldel-load report is not
+// penalized for lacking every other dimension.
+func TestEvaluateLoadMetric(t *testing.T) {
+	withP99 := func(p99 float64) *experiments.PipelineReport {
+		r := &experiments.PipelineReport{}
+		if p99 > 0 {
+			r.SetLoadResults([]experiments.LoadResult{{Workload: "append", P99Micros: int64(p99)}})
+		}
+		return r
+	}
+	base := withP99(2000)
+	if fails := evaluate(loadMetrics, base, withP99(2400), 0.30); len(fails) != 0 {
+		t.Fatalf("p99 inside allowance flagged: %v", fails)
+	}
+	fails := evaluate(loadMetrics, base, withP99(5000), 0.30)
+	if len(fails) != 1 || !strings.Contains(fails[0], "serve append p99") {
+		t.Fatalf("want one p99 failure, got %v", fails)
+	}
+	// -dimension load must not demand the other dimensions.
+	if fails := evaluate(metricSets["load"], report(10000, 50000), withP99(2000), 0.30); len(fails) != 0 {
+		t.Fatalf("load dimension demanded non-load metrics: %v", fails)
+	}
+	// Baseline without the dimension: skipped, not failed.
+	if fails := evaluate(loadMetrics, withP99(0), withP99(2000), 0.30); len(fails) != 0 {
+		t.Fatalf("unexpected failures vs old baseline: %v", fails)
+	}
+}
+
+// TestCheckShedFraction pins the candidate-only shed ceiling.
+func TestCheckShedFraction(t *testing.T) {
+	cand := func(frac float64) *experiments.PipelineReport {
+		return &experiments.PipelineReport{LoadResults: []experiments.LoadResult{
+			{Workload: "append", ShedFraction: frac, Scheduled: 1000, Sheds: int64(frac * 1000)},
+		}}
+	}
+	if v := checkShedFraction(cand(0.01), 0.05); len(v) != 0 {
+		t.Errorf("sheds under ceiling flagged: %v", v)
+	}
+	v := checkShedFraction(cand(0.2), 0.05)
+	if len(v) != 1 || !strings.Contains(v[0], "shed fraction") {
+		t.Errorf("want one shed violation, got %v", v)
+	}
+	// No load dimension: skip, not fail.
+	if v := checkShedFraction(&experiments.PipelineReport{}, 0.05); len(v) != 0 {
+		t.Errorf("dimensionless candidate flagged: %v", v)
+	}
+	// Disabled.
+	if v := checkShedFraction(cand(0.9), -1); len(v) != 0 {
+		t.Errorf("disabled ceiling flagged: %v", v)
 	}
 }

@@ -127,6 +127,15 @@ type PipelineReport struct {
 	// single-partition row — the headline sharding win the bench gate
 	// guards on multi-core hardware.
 	PartitionScaling4x float64 `json:"partition_scaling_4x,omitempty"`
+	// LoadResults is the serving dimension (PR 9): the HTTP front-end
+	// driven open-loop at a fixed offered rate (scheduled-time latency,
+	// so coordinated omission is counted, not hidden). cmd/seldel-load
+	// -json emits the same rows standalone.
+	LoadResults []LoadResult `json:"load_results,omitempty"`
+	// ServeAppendP99Micros is the serving dimension's headline: p99
+	// append latency (µs) through the HTTP front-end at the fixed
+	// open-loop rate (lower is better).
+	ServeAppendP99Micros float64 `json:"serve_append_p99_us,omitempty"`
 	// AppendAllocsPerOp is the pipelined append path's allocations per
 	// entry — the headline the bench gate guards (lower is better).
 	AppendAllocsPerOp float64 `json:"append_allocs_per_op,omitempty"`
@@ -426,6 +435,12 @@ func RunPipelineBench(n int) (*PipelineReport, error) {
 	}
 	report.PartitionResults = pr
 	report.PartitionScaling4x = scaling
+
+	lr, err := measureServeDimension(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	report.SetLoadResults(lr)
 
 	hr, err := measureHotPathDimension(n)
 	if err != nil {

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/seldel/seldel/internal/block"
+	"github.com/seldel/seldel/internal/chain"
+	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/loadgen"
+	"github.com/seldel/seldel/internal/serve"
+	"github.com/seldel/seldel/internal/simclock"
+)
+
+// This file adds the serving dimension (PR 9): the full HTTP front-end
+// driven open-loop at a FIXED offered rate. Unlike the other
+// dimensions, which measure saturated throughput, this one measures
+// tail latency under a constant schedule — the number a latency SLO is
+// written against. The rate is pinned (serveOfferedRate) rather than
+// derived from -json-entries so the p99 is comparable across runs and
+// against the committed baseline regardless of how many entries a run
+// writes.
+
+// serveOfferedRate is the fixed open-loop schedule, requests/second.
+const serveOfferedRate = 1000
+
+// LoadResult is one open-loop load measurement through the serving
+// front-end: offered vs achieved rate, shed/error accounting, and
+// scheduled-time latency quantiles. cmd/seldel-load emits the same
+// shape, so the bench gate reads both.
+type LoadResult struct {
+	// Workload names the request mix ("append", "deletion-storm",
+	// "read-churn", "mixed").
+	Workload string `json:"workload"`
+	// OfferedPerSec is the configured open-loop schedule.
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	// AchievedPerSec is successful requests over wall time.
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	// Scheduled/OK/Sheds/Errors/Dropped account for every scheduled
+	// request: completed, refused with 429, failed, or never fired
+	// because the in-flight safety valve was hit.
+	Scheduled int64 `json:"scheduled"`
+	OK        int64 `json:"ok"`
+	Sheds     int64 `json:"sheds"`
+	Errors    int64 `json:"errors"`
+	Dropped   int64 `json:"dropped"`
+	// ShedFraction is Sheds / Scheduled.
+	ShedFraction float64 `json:"shed_fraction"`
+	// Latency quantiles in microseconds, measured from each request's
+	// SCHEDULED time (coordinated omission counted, not hidden).
+	P50Micros  int64 `json:"p50_us"`
+	P99Micros  int64 `json:"p99_us"`
+	P999Micros int64 `json:"p999_us"`
+	MaxMicros  int64 `json:"max_us"`
+}
+
+// LoadResultFrom folds a load-generator summary into the report row.
+func LoadResultFrom(workload string, s loadgen.Summary) LoadResult {
+	return LoadResult{
+		Workload:       workload,
+		OfferedPerSec:  s.Offered,
+		AchievedPerSec: s.Achieved,
+		Scheduled:      s.Scheduled,
+		OK:             s.OKs,
+		Sheds:          s.Sheds,
+		Errors:         s.Errors,
+		Dropped:        s.Dropped,
+		ShedFraction:   s.ShedFraction(),
+		P50Micros:      s.P50Micros,
+		P99Micros:      s.P99Micros,
+		P999Micros:     s.P999Micro,
+		MaxMicros:      s.MaxMicros,
+	}
+}
+
+// NewLoadReport wraps load rows in the PipelineReport envelope (same
+// hardware fingerprint fields the gate's runner-match check reads);
+// cmd/seldel-load -json writes this.
+func NewLoadReport(rows []LoadResult) *PipelineReport {
+	r := &PipelineReport{
+		Bench:     "serve-load",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		UnixTime:  time.Now().Unix(),
+	}
+	r.SetLoadResults(rows)
+	return r
+}
+
+// SetLoadResults installs the serving dimension and its headline (the
+// append row's p99).
+func (r *PipelineReport) SetLoadResults(rows []LoadResult) {
+	r.LoadResults = rows
+	for _, row := range rows {
+		if row.Workload == "append" {
+			r.ServeAppendP99Micros = float64(row.P99Micros)
+		}
+	}
+}
+
+// measureServeDimension stands up the real HTTP front-end over an
+// in-memory chain on a loopback listener and drives single-entry
+// submit?wait=1 requests open-loop at serveOfferedRate for n requests.
+func measureServeDimension(n int) ([]LoadResult, error) {
+	if n > 2000 {
+		n = 2000 // 2s at the fixed rate is plenty of samples for p99
+	}
+	reg := identity.NewRegistry()
+	kp := identity.Deterministic("writer", "servebench")
+	if err := reg.RegisterKey(kp, identity.RoleUser); err != nil {
+		return nil, err
+	}
+	c, err := chain.New(chain.Config{
+		SequenceLength: 8,
+		Registry:       reg,
+		Clock:          simclock.NewLogical(0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	srv := serve.New(c, serve.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := srv.HTTPServer(ln.Addr().String())
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	// Pre-sign and pre-encode every request body so the measured section
+	// holds only transport + pipeline + seal time.
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		e := block.NewData(kp.Name(), fmt.Appendf(nil, "serve-%06d", i)).Sign(kp)
+		body, err := json.Marshal(serve.SubmitRequest{Entries: []serve.EntryJSON{serve.NewEntryJSON(e)}})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	url := "http://" + ln.Addr().String() + "/v1/submit?wait=1"
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	sum := loadgen.Run(context.Background(), loadgen.Options{
+		Rate:     serveOfferedRate,
+		Requests: n,
+		Fire: func(ctx context.Context, i int) loadgen.Class {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(bodies[i]))
+			if err != nil {
+				return loadgen.Errored
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return loadgen.Errored
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return loadgen.OK
+			case http.StatusTooManyRequests:
+				return loadgen.Shed
+			default:
+				return loadgen.Errored
+			}
+		},
+	})
+	if sum.Errors > 0 {
+		return nil, fmt.Errorf("serve dimension: %d/%d requests errored", sum.Errors, sum.Scheduled)
+	}
+	return []LoadResult{LoadResultFrom("append", sum)}, nil
+}

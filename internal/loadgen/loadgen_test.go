@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// lowOf(bucketOf(v)) must never exceed v and must stay within the
+	// histogram's relative-error budget (one mantissa step, ~1.6%).
+	for _, v := range []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 4095, 4096,
+		1 << 20, (1 << 20) + 12345, 1 << 40, math.MaxInt64} {
+		lo := lowOf(bucketOf(v))
+		if lo > v {
+			t.Errorf("lowOf(bucketOf(%d)) = %d > input", v, lo)
+		}
+		if v > 0 && float64(v-lo)/float64(v) > 1.0/64+1e-9 {
+			t.Errorf("value %d mapped to bucket low %d: relative error %.4f", v, lo, float64(v-lo)/float64(v))
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1..10000 µs uniformly: p50 ≈ 5000, p99 ≈ 9900, max = 10000.
+	for i := int64(1); i <= 10000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q, want, tol float64) {
+		got := float64(h.Quantile(q))
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("q%.3f = %.0f, want %.0f ± %.0f%%", q, got, want, tol*100)
+		}
+	}
+	check(0.50, 5000, 0.02)
+	check(0.99, 9900, 0.02)
+	check(0.999, 9990, 0.02)
+	if h.Max() != 10000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 100 {
+		t.Errorf("mean = %.1f", mean)
+	}
+	// The top quantile never exceeds the recorded max.
+	if h.Quantile(1.0) > h.Max() {
+		t.Errorf("q1.0 = %d > max %d", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 {
+		t.Errorf("empty hist: count=%d q99=%d max=%d", h.Count(), h.Quantile(0.99), h.Max())
+	}
+}
+
+// TestOpenLoopIndependence is the defining property of the harness: a
+// stalled server must NOT slow the request schedule down. 20 requests
+// at 100/s, each stalling 150ms. A closed loop would need 20 × 150ms =
+// 3s of wall time; an open loop needs ~190ms of schedule + one stall.
+// And because latency is charged from the SCHEDULED time, p50 must
+// reflect the stall, not the (instant) send.
+func TestOpenLoopIndependence(t *testing.T) {
+	const stall = 150 * time.Millisecond
+	var fired atomic.Int64
+	start := time.Now()
+	sum := Run(context.Background(), Options{
+		Rate:     100,
+		Requests: 20,
+		Fire: func(ctx context.Context, i int) Class {
+			fired.Add(1)
+			select {
+			case <-time.After(stall):
+			case <-ctx.Done():
+			}
+			return OK
+		},
+	})
+	wall := time.Since(start)
+	if sum.OKs != 20 || sum.Scheduled != 20 {
+		t.Fatalf("oks=%d scheduled=%d", sum.OKs, sum.Scheduled)
+	}
+	// Closed-loop floor would be 20 stalls = 3s; the open loop finishes
+	// in schedule length (190ms) + one stall + slack.
+	if wall > 1500*time.Millisecond {
+		t.Errorf("wall %v: schedule was serialized behind the stalls", wall)
+	}
+	// Every latency includes the stall (measured from scheduled time).
+	// The histogram reports bucket lower bounds, so allow its ≤1.6%
+	// quantization under-shoot.
+	if p50 := time.Duration(sum.P50Micros) * time.Microsecond; p50 < stall-stall/32 {
+		t.Errorf("p50 %v < stall %v: latency not charged from scheduled time", p50, stall)
+	}
+	if sum.Offered != 100 {
+		t.Errorf("offered = %.1f", sum.Offered)
+	}
+}
+
+func TestRunClassesAndShedFraction(t *testing.T) {
+	sum := Run(context.Background(), Options{
+		Rate:     2000,
+		Requests: 40,
+		Fire: func(ctx context.Context, i int) Class {
+			switch i % 4 {
+			case 0:
+				return Shed
+			case 1:
+				return Errored
+			default:
+				return OK
+			}
+		},
+	})
+	if sum.OKs != 20 || sum.Sheds != 10 || sum.Errors != 10 {
+		t.Errorf("oks=%d sheds=%d errors=%d", sum.OKs, sum.Sheds, sum.Errors)
+	}
+	if got := sum.ShedFraction(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("shed fraction = %v", got)
+	}
+}
+
+func TestRunMaxInflightDrops(t *testing.T) {
+	// Fire wedges until released; the valve must count drops instead of
+	// spawning unbounded goroutines, and must NOT slow the schedule.
+	release := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(release) })
+	sum := Run(context.Background(), Options{
+		Rate:        5000,
+		Requests:    32,
+		MaxInflight: 4,
+		Fire: func(ctx context.Context, i int) Class {
+			<-release
+			return OK
+		},
+	})
+	if sum.Dropped == 0 {
+		t.Error("no drops with a 4-deep valve against a wedged server")
+	}
+	if sum.OKs+sum.Dropped != 32 {
+		t.Errorf("oks %d + dropped %d != 32", sum.OKs, sum.Dropped)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	sum := Run(ctx, Options{
+		Rate:     10,
+		Requests: 1000, // 100s of schedule — must be cut short
+		Fire:     func(ctx context.Context, i int) Class { return OK },
+	})
+	if sum.Scheduled >= 1000 {
+		t.Errorf("cancel did not stop the schedule: %d scheduled", sum.Scheduled)
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	sum := Run(context.Background(), Options{
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Fire:     func(ctx context.Context, i int) Class { return OK },
+	})
+	// ~100 ticks fit the window; allow generous slack for slow CI.
+	if sum.Scheduled < 50 || sum.Scheduled > 101 {
+		t.Errorf("scheduled %d requests in a 100ms window at 1000/s", sum.Scheduled)
+	}
+	if sum.OKs != sum.Scheduled {
+		t.Errorf("oks %d != scheduled %d", sum.OKs, sum.Scheduled)
+	}
+}

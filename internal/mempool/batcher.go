@@ -102,6 +102,18 @@ type Stats struct {
 	Index IndexStats
 }
 
+// QueueFraction is the intake queue's fullness in [0,1]: QueueDepth
+// over QueueCap, 0 when the pipeline has not started. Admission
+// controllers shed ingress when it approaches 1 — producers are then
+// about to block on the intake, which is the overload signal a serving
+// front-end must answer with backpressure (429) instead of queueing.
+func (s Stats) QueueFraction() float64 {
+	if s.QueueCap <= 0 {
+		return 0
+	}
+	return float64(s.QueueDepth) / float64(s.QueueCap)
+}
+
 // IndexStats describe the chain's entry-index map: Go maps never
 // release buckets, so after a large cut Live can be a small fraction of
 // the capacity Peak implies — the compactor then rebuilds the map

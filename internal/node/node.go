@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"github.com/seldel/seldel/internal/consensus"
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/manifest"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/store"
@@ -237,6 +239,30 @@ func (n *Node) Chain() *chain.Chain {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.chain
+}
+
+// Stats snapshots the current chain's size and deletion counters — the
+// read surface a serving front-end exposes without reaching through
+// Chain() (which may be swapped by a status-quo adoption mid-call).
+func (n *Node) Stats() chain.Stats { return n.Chain().Stats() }
+
+// EntriesSeq streams the current chain's live entries with their stable
+// references. The snapshot is taken when iteration starts; a concurrent
+// status-quo adoption affects later calls, not a stream in progress.
+func (n *Node) EntriesSeq() iter.Seq2[block.Ref, *block.Entry] {
+	return n.Chain().EntriesSeq()
+}
+
+// Tombstones returns the current chain's deletion audit records, oldest
+// first, waiting out pending compactions like chain.Chain.Tombstones.
+func (n *Node) Tombstones(ctx context.Context) ([]manifest.Record, error) {
+	return n.Chain().Tombstones(ctx)
+}
+
+// ProveDeleted builds the deletion proof for ref against the current
+// chain's tombstone layer.
+func (n *Node) ProveDeleted(ref block.Ref) (*chain.DeletedProof, error) {
+	return n.Chain().ProveDeleted(ref)
 }
 
 // Forked reports whether the node detected divergence from the quorum.

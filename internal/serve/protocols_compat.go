@@ -1,0 +1,11 @@
+//go:build !go1.24
+
+package serve
+
+import "net/http"
+
+// configureProtocols is a no-op before Go 1.24: net/http has no h2c
+// switch there, so the server speaks HTTP/1.1 with keep-alive. The
+// endpoint set and semantics are identical; only connection
+// multiplexing differs.
+func configureProtocols(*http.Server) {}

@@ -1,0 +1,17 @@
+//go:build go1.24
+
+package serve
+
+import "net/http"
+
+// configureProtocols enables HTTP/2 over cleartext TCP (h2c) next to
+// HTTP/1.1, using the net/http protocol switch introduced in Go 1.24.
+// h2c lets a single load-generator connection multiplex many in-flight
+// submits without head-of-line blocking, which is what an open-loop
+// harness needs when responses stall.
+func configureProtocols(srv *http.Server) {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	srv.Protocols = p
+}

@@ -57,6 +57,7 @@
 package seldel
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/seldel/seldel/internal/audit"
@@ -69,12 +70,14 @@ import (
 	"github.com/seldel/seldel/internal/deletion"
 	"github.com/seldel/seldel/internal/doctor"
 	"github.com/seldel/seldel/internal/identity"
+	"github.com/seldel/seldel/internal/loadgen"
 	"github.com/seldel/seldel/internal/manifest"
 	"github.com/seldel/seldel/internal/mempool"
 	"github.com/seldel/seldel/internal/netsim"
 	"github.com/seldel/seldel/internal/node"
 	"github.com/seldel/seldel/internal/partition"
 	"github.com/seldel/seldel/internal/schema"
+	"github.com/seldel/seldel/internal/serve"
 	"github.com/seldel/seldel/internal/simclock"
 	"github.com/seldel/seldel/internal/store"
 	"github.com/seldel/seldel/internal/store/segment"
@@ -468,3 +471,69 @@ func AuditRenderOptions() *RenderOptions {
 
 // ParseSchema compiles a YAML-subset schema document.
 func ParseSchema(src string) (*Schema, error) { return schema.Parse(src) }
+
+// Serving-layer types: the HTTP/2 (h2c) front-end of NewServer and the
+// open-loop load-generation primitives behind cmd/seldel-load. See
+// docs/ARCHITECTURE.md §9.
+type (
+	// Server is the HTTP front-end over a chain, partitioned chain, or
+	// node: client-signed submits with connection-level batching into
+	// the submission pipeline, snapshot-consistent entry pagination,
+	// tombstone/proof reads, stats, and admission control that sheds
+	// with 429 + Retry-After before the intake queue saturates.
+	Server = serve.Server
+	// ServerOptions parameterize a Server.
+	ServerOptions = serve.Options
+	// ServerBackend is what a Server fronts; *Chain, *PartitionedChain,
+	// and *Node all satisfy it.
+	ServerBackend = serve.Backend
+	// AdmissionOptions tune the Server's load shedding.
+	AdmissionOptions = serve.AdmissionOptions
+	// LoadOptions parameterize one open-loop load run.
+	LoadOptions = loadgen.Options
+	// LoadSummary is an open-loop run's outcome: offered vs achieved
+	// rate, shed/error/drop counts, and scheduled-time latency
+	// quantiles (p50/p99/p999).
+	LoadSummary = loadgen.Summary
+	// LatencyHist is the concurrent HDR-style histogram the load
+	// generator records into.
+	LatencyHist = loadgen.Hist
+
+	// SubmitRequest is the Server's POST /v1/submit body.
+	SubmitRequest = serve.SubmitRequest
+	// SubmitResponse is the Server's submit reply (sealed refs with
+	// ?wait=1, an acceptance count without).
+	SubmitResponse = serve.SubmitResponse
+	// EntryJSON is one client-signed entry on the wire.
+	EntryJSON = serve.EntryJSON
+	// EntryPage is one GET /v1/entries page: entries with refs, the
+	// next-page cursor, and the truncation epoch (cut_blocks).
+	EntryPage = serve.EntryPage
+
+	// LoadClass is a fire function's verdict about one open-loop request.
+	LoadClass = loadgen.Class
+)
+
+// Open-loop outcome classes for LoadOptions.Fire.
+const (
+	LoadOK      = loadgen.OK
+	LoadShed    = loadgen.Shed
+	LoadErrored = loadgen.Errored
+)
+
+// NewEntryJSON converts a signed entry to its wire form for submission
+// to a Server.
+func NewEntryJSON(e *Entry) EntryJSON { return serve.NewEntryJSON(e) }
+
+// NewServer builds the HTTP front-end over backend (a *Chain,
+// *PartitionedChain, or *Node). Close the server to stop its admission
+// sampler; closing the backend stays the caller's job.
+func NewServer(backend ServerBackend, opts ServerOptions) *Server {
+	return serve.New(backend, opts)
+}
+
+// RunLoad drives fire open-loop (fixed schedule, scheduled-time
+// latency; see internal/loadgen) and reports the run summary.
+func RunLoad(ctx context.Context, opts LoadOptions) LoadSummary {
+	return loadgen.Run(ctx, opts)
+}
