@@ -242,6 +242,24 @@ var metrics = []metric{
 		},
 	},
 	{
+		// The WAN convergence row: proposal rounds a deletion needs to
+		// become unresolvable on all 50 geo-distributed nodes. A round
+		// count, not a rate — hardware-independent and exactly what the
+		// WAN scenario suite pins — so creeping protocol regressions
+		// (extra sync round trips, slower vote convergence) surface here
+		// even between hardware classes.
+		name:          "cluster@50 WAN deletion convergence rounds",
+		lowerIsBetter: true,
+		extract: func(r *experiments.PipelineReport) (float64, bool) {
+			for _, res := range r.ClusterResults {
+				if res.Nodes == 50 && res.DeletionRounds > 0 {
+					return float64(res.DeletionRounds), true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
 		name: "tombstone proofs/sec",
 		extract: func(r *experiments.PipelineReport) (float64, bool) {
 			for _, res := range r.ManifestResults {

@@ -20,10 +20,24 @@ const (
 	// the honest members alone still reach the majority threshold —
 	// see WithholdingTolerance.
 	VoteWithholding
+	// Equivocation is the duplicitous proposer: for every summary round
+	// it sends its honestly computed vote to one half of the quorum and
+	// a conflicting hash to the other half, trying to split the members'
+	// view of the agreed summary. Both votes are properly signed — the
+	// deviation is saying different things to different peers, which is
+	// exactly what honest nodes expose by relaying disagreeing votes as
+	// evidence (wire.KindVoteEvidence).
+	Equivocation
+	// ForgedSnapshot is the stale-snapshot replayer: it votes and gossips
+	// honestly, but answers every catch-up request with the first
+	// snapshot it ever served, frozen before later deletions. A rejoining
+	// node that accepted the replay would resurrect deleted blocks; the
+	// receiver's resurrection-floor check is the defense.
+	ForgedSnapshot
 )
 
 // Valid reports whether b is a defined behaviour.
-func (b Behavior) Valid() bool { return b <= VoteWithholding }
+func (b Behavior) Valid() bool { return b <= ForgedSnapshot }
 
 // String implements fmt.Stringer.
 func (b Behavior) String() string {
@@ -32,10 +46,18 @@ func (b Behavior) String() string {
 		return "honest"
 	case VoteWithholding:
 		return "vote-withholding"
+	case Equivocation:
+		return "equivocation"
+	case ForgedSnapshot:
+		return "forged-snapshot"
 	default:
 		return "unknown"
 	}
 }
+
+// ReplaysStaleSnapshot reports whether b answers catch-up requests with
+// a frozen pre-deletion snapshot instead of its current status quo.
+func (b Behavior) ReplaysStaleSnapshot() bool { return b == ForgedSnapshot }
 
 // WithholdingTolerance returns how many quorum members may silently
 // withhold their votes before the marker-shift vote loses liveness: a

@@ -1,0 +1,68 @@
+package attack
+
+// This file plans the wire traffic a Byzantine behaviour emits, as pure
+// data: the node executes the plan, tests assert it. Keeping the
+// deviation logic here (instead of inlined in the node's send paths)
+// means every behaviour's exact output is unit-testable without
+// standing up a cluster.
+
+import (
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/wire"
+)
+
+// VoteSend is one planned vote transmission for a summary round.
+type VoteSend struct {
+	// Peer is the recipient. Empty means broadcast to every endpoint
+	// (the honest path, which also reaches non-member followers).
+	Peer string
+	// Payload is the vote to seal and send.
+	Payload wire.VotePayload
+}
+
+// ConflictingHash derives the alternate summary hash an equivocator
+// claims: the bitwise complement of the honest hash. Deterministic, so
+// the equivocator tells every deceived peer the same consistent lie —
+// the hardest variant to shrug off as corruption — and always distinct
+// from the honest value.
+func ConflictingHash(h codec.Hash) codec.Hash {
+	var out codec.Hash
+	for i := range h {
+		out[i] = ^h[i]
+	}
+	return out
+}
+
+// PlanSummaryVotes returns the vote transmissions behaviour b emits for
+// one summary round, given the quorum peers (excluding the sender, in a
+// stable order) and the honestly computed vote. countSelf reports
+// whether the sender still counts its own honest vote in its local
+// tally (a withholder stays silent even toward itself, mirroring the
+// original silent-member model).
+//
+//   - Honest and ForgedSnapshot broadcast the honest vote (a snapshot
+//     forger deviates only on the sync path).
+//   - VoteWithholding sends nothing.
+//   - Equivocation unicasts the honest vote to the first half of peers
+//     and a conflicting hash to the rest, splitting the quorum's view.
+func PlanSummaryVotes(b Behavior, peers []string, v wire.VotePayload) (sends []VoteSend, countSelf bool) {
+	switch b {
+	case VoteWithholding:
+		return nil, false
+	case Equivocation:
+		sends = make([]VoteSend, 0, len(peers))
+		lie := v
+		lie.Hash = ConflictingHash(v.Hash)
+		half := len(peers) / 2
+		for i, p := range peers {
+			if i < half {
+				sends = append(sends, VoteSend{Peer: p, Payload: v})
+			} else {
+				sends = append(sends, VoteSend{Peer: p, Payload: lie})
+			}
+		}
+		return sends, true
+	default:
+		return []VoteSend{{Payload: v}}, true
+	}
+}

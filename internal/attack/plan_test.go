@@ -1,0 +1,139 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/seldel/seldel/internal/codec"
+	"github.com/seldel/seldel/internal/wire"
+)
+
+// The plan tests pin the exact wire traffic every behaviour emits for a
+// summary round: recipients, payloads, and whether the sender's own vote
+// enters its local tally. A node executes these plans verbatim, so this
+// is the per-behaviour contract the cluster drills build on.
+
+func planVote() wire.VotePayload {
+	var h codec.Hash
+	for i := range h {
+		h[i] = byte(i)
+	}
+	return wire.VotePayload{Number: 9, Hash: h, Marker: 6, Approve: true}
+}
+
+func TestPlanSummaryVotesPerBehavior(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	v := planVote()
+	lie := v
+	lie.Hash = ConflictingHash(v.Hash)
+
+	cases := []struct {
+		name      string
+		b         Behavior
+		want      []VoteSend
+		countSelf bool
+	}{
+		{
+			name:      "honest broadcasts its vote",
+			b:         Honest,
+			want:      []VoteSend{{Peer: "", Payload: v}},
+			countSelf: true,
+		},
+		{
+			name:      "withholder stays silent",
+			b:         VoteWithholding,
+			want:      nil,
+			countSelf: false,
+		},
+		{
+			name: "equivocator splits the quorum",
+			b:    Equivocation,
+			want: []VoteSend{
+				{Peer: "a", Payload: v},
+				{Peer: "b", Payload: v},
+				{Peer: "c", Payload: lie},
+				{Peer: "d", Payload: lie},
+			},
+			countSelf: true,
+		},
+		{
+			name:      "snapshot forger votes honestly",
+			b:         ForgedSnapshot,
+			want:      []VoteSend{{Peer: "", Payload: v}},
+			countSelf: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sends, countSelf := PlanSummaryVotes(c.b, peers, v)
+			if !reflect.DeepEqual(sends, c.want) {
+				t.Errorf("PlanSummaryVotes(%v) = %+v, want %+v", c.b, sends, c.want)
+			}
+			if countSelf != c.countSelf {
+				t.Errorf("countSelf = %v, want %v", countSelf, c.countSelf)
+			}
+		})
+	}
+}
+
+func TestPlanSummaryVotesOddSplitFavorsTheLie(t *testing.T) {
+	// With an odd peer count the equivocator tells the truth to the
+	// smaller half: floor(n/2) truthful sends, the rest conflicting.
+	v := planVote()
+	sends, _ := PlanSummaryVotes(Equivocation, []string{"a", "b", "c"}, v)
+	if len(sends) != 3 {
+		t.Fatalf("got %d sends, want 3", len(sends))
+	}
+	truthful := 0
+	for _, s := range sends {
+		if s.Payload.Hash == v.Hash {
+			truthful++
+		} else if s.Payload.Hash != ConflictingHash(v.Hash) {
+			t.Errorf("send to %s carries neither truth nor the planned lie", s.Peer)
+		}
+	}
+	if truthful != 1 {
+		t.Errorf("truthful sends = %d, want 1", truthful)
+	}
+}
+
+func TestPlanSummaryVotesNoPeers(t *testing.T) {
+	sends, countSelf := PlanSummaryVotes(Equivocation, nil, planVote())
+	if len(sends) != 0 || !countSelf {
+		t.Errorf("lone equivocator: sends=%v countSelf=%v", sends, countSelf)
+	}
+}
+
+func TestConflictingHashProperties(t *testing.T) {
+	h := planVote().Hash
+	c := ConflictingHash(h)
+	if c == h {
+		t.Fatal("conflicting hash equals the honest hash")
+	}
+	if ConflictingHash(h) != c {
+		t.Fatal("conflicting hash is not deterministic")
+	}
+	if ConflictingHash(c) != h {
+		t.Fatal("complement involution broken")
+	}
+}
+
+func TestExtendedBehaviorContract(t *testing.T) {
+	for _, b := range []Behavior{Honest, VoteWithholding, Equivocation, ForgedSnapshot} {
+		if !b.Valid() {
+			t.Errorf("%v must be valid", b)
+		}
+	}
+	if Behavior(99).Valid() {
+		t.Error("undefined behaviour accepted")
+	}
+	if Equivocation.String() != "equivocation" || ForgedSnapshot.String() != "forged-snapshot" {
+		t.Errorf("String() = %q / %q", Equivocation, ForgedSnapshot)
+	}
+	if Honest.ReplaysStaleSnapshot() || VoteWithholding.ReplaysStaleSnapshot() || Equivocation.ReplaysStaleSnapshot() {
+		t.Error("only the snapshot forger replays stale snapshots")
+	}
+	if !ForgedSnapshot.ReplaysStaleSnapshot() {
+		t.Error("snapshot forger must replay stale snapshots")
+	}
+}

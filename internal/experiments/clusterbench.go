@@ -16,7 +16,8 @@ import (
 
 // This file is the cluster dimension of `seldel-bench -json` (PR 5):
 // the same replicated write workload driven through 3-, 7-, and 15-node
-// anchor deployments on the in-memory network. Two rates are reported
+// anchor deployments on the in-memory network, plus a 50-node WAN row
+// (PR 10) over the three-region geo-latency matrix. Two rates are reported
 // per width: replicated blocks per second (proposal + gossip + quorum
 // summary votes, measured to full network quiescence every round) and
 // the deletion-convergence latency — the wall-clock time from
@@ -52,6 +53,19 @@ type ClusterResult struct {
 // clusterSizes are the measured deployment widths.
 var clusterSizes = []int{3, 7, 15}
 
+// wanClusterSize is the WAN-scale row (PR 10): the same workload at 50
+// nodes spread round-robin across the three-region geo-latency matrix,
+// with the registry's verify cache enabled (the deployment posture at
+// that width — without it every broadcast is verified 49 times). Its
+// guarded metric is DeletionRounds: how many proposal rounds a deletion
+// needs to converge across the WAN, which the gate watches as a cost.
+const wanClusterSize = 50
+
+// wanClusterRounds is the (fixed, small) throughput-phase length for
+// the WAN row; the row exists for its convergence-round count, not its
+// block rate, so it does not scale with the -json-entries budget.
+const wanClusterRounds = 8
+
 // deletionConvergeCap bounds the convergence drive; a healthy cluster
 // with SequenceLength 3 and MaxSequences 2 converges in well under ten
 // rounds.
@@ -68,14 +82,19 @@ func measureClusterDimension(n int) ([]ClusterResult, error) {
 	if rounds > 200 {
 		rounds = 200
 	}
-	out := make([]ClusterResult, 0, len(clusterSizes))
+	out := make([]ClusterResult, 0, len(clusterSizes)+1)
 	for _, size := range clusterSizes {
-		r, err := measureCluster(size, rounds)
+		r, err := measureCluster(size, rounds, false)
 		if err != nil {
 			return nil, fmt.Errorf("cluster dimension (nodes=%d): %w", size, err)
 		}
 		out = append(out, r)
 	}
+	r, err := measureCluster(wanClusterSize, wanClusterRounds, true)
+	if err != nil {
+		return nil, fmt.Errorf("cluster dimension (nodes=%d, wan): %w", wanClusterSize, err)
+	}
+	out = append(out, r)
 	return out, nil
 }
 
@@ -114,12 +133,24 @@ func (bc *benchCluster) drive(payload []byte) (*block.Block, error) {
 	}
 }
 
-func newBenchCluster(size int) (*benchCluster, error) {
-	bc := &benchCluster{net: netsim.New(netsim.Config{})}
+// newBenchCluster assembles one deployment. With wan set the nodes are
+// spread round-robin across the three-region geo matrix (asymmetric
+// virtual latency, delivered deterministically under the fixed seed)
+// and signature verification is cached across the quorum.
+func newBenchCluster(size int, wan bool) (*benchCluster, error) {
+	bc := &benchCluster{net: netsim.New(netsim.Config{Seed: 1})}
 	registry := identity.NewRegistry()
+	if wan {
+		registry.EnableVerifyCache(1 << 16)
+	}
 	names := make([]string, size)
 	for i := range names {
 		names[i] = fmt.Sprintf("anchor-%d", i)
+	}
+	if wan {
+		geo := netsim.ThreeRegions()
+		geo.AssignRoundRobin(names...)
+		bc.net.SetGeo(geo)
 	}
 	quorum, err := consensus.NewQuorum(names)
 	if err != nil {
@@ -181,8 +212,8 @@ func resolvableOnAny(bc *benchCluster, ref block.Ref) bool {
 // measureCluster drives one deployment: rounds of replicated proposals
 // for the throughput rate, then one deletion to full physical
 // convergence.
-func measureCluster(size, rounds int) (ClusterResult, error) {
-	bc, err := newBenchCluster(size)
+func measureCluster(size, rounds int, wan bool) (ClusterResult, error) {
+	bc, err := newBenchCluster(size, wan)
 	if err != nil {
 		return ClusterResult{}, err
 	}

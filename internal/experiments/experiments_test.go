@@ -276,12 +276,13 @@ func TestPipelineBenchStructure(t *testing.T) {
 			t.Errorf("deletion result %d forgot nothing: %+v", i, r)
 		}
 	}
-	// The cluster dimension must cover 3/7/15 nodes, replicate at a
-	// positive rate, and drive its deletion to physical convergence.
-	if len(report.ClusterResults) != 3 {
-		t.Fatalf("%d cluster results, want 3", len(report.ClusterResults))
+	// The cluster dimension must cover 3/7/15 nodes plus the 50-node
+	// WAN row, replicate at a positive rate, and drive its deletion to
+	// physical convergence.
+	if len(report.ClusterResults) != 4 {
+		t.Fatalf("%d cluster results, want 4", len(report.ClusterResults))
 	}
-	wantNodes := []int{3, 7, 15}
+	wantNodes := []int{3, 7, 15, 50}
 	for i, r := range report.ClusterResults {
 		if r.Nodes != wantNodes[i] {
 			t.Errorf("cluster result %d nodes = %d, want %d", i, r.Nodes, wantNodes[i])

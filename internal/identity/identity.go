@@ -115,6 +115,15 @@ type Info struct {
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]Info
+
+	// Verified-signature cache, enabled by EnableVerifyCache. In
+	// broadcast-heavy simulations many nodes share one registry and each
+	// envelope is verified once per receiver; remembering (signer, msg,
+	// sig) triples already proven valid turns n-1 of those n Ed25519
+	// verifications into a hash lookup.
+	cacheMu  sync.Mutex
+	cache    map[[sha256.Size]byte]struct{}
+	cacheCap int
 }
 
 // NewRegistry returns an empty registry.
@@ -160,14 +169,74 @@ func (r *Registry) RoleOf(name string) (Role, bool) {
 	return info.Role, ok
 }
 
+// EnableVerifyCache turns on a bounded cache of signatures this registry
+// has already verified successfully. capacity bounds remembered entries;
+// when full, the cache resets wholesale (the working set of a live
+// cluster is recent traffic, so a periodic cold start is cheap).
+// capacity <= 0 disables the cache again. Only successes are cached:
+// a forged signature is re-checked — and re-rejected — every time.
+func (r *Registry) EnableVerifyCache(capacity int) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if capacity <= 0 {
+		r.cache = nil
+		r.cacheCap = 0
+		return
+	}
+	r.cache = make(map[[sha256.Size]byte]struct{}, capacity)
+	r.cacheCap = capacity
+}
+
+// verifyCacheKey binds signer, message, and signature into one digest.
+// Length prefixes keep (name, msg) concatenation unambiguous.
+func verifyCacheKey(name string, msg, sig []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	n[0] = byte(len(name))
+	h.Write(n[:1])
+	h.Write([]byte(name))
+	for i, l := 0, len(msg); i < 8; i++ {
+		n[i] = byte(l >> (8 * i))
+	}
+	h.Write(n[:])
+	h.Write(msg)
+	h.Write(sig)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
 // Verify checks that sig is a valid signature by name over msg.
 func (r *Registry) Verify(name string, msg, sig []byte) error {
 	info, ok := r.Lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownIdentity, name)
 	}
+	r.cacheMu.Lock()
+	enabled := r.cache != nil
+	r.cacheMu.Unlock()
+	var key [sha256.Size]byte
+	if enabled {
+		key = verifyCacheKey(name, msg, sig)
+		r.cacheMu.Lock()
+		_, hit := r.cache[key]
+		r.cacheMu.Unlock()
+		if hit {
+			return nil
+		}
+	}
 	if !ed25519.Verify(info.Public, msg, sig) {
 		return fmt.Errorf("%w: signer %q", ErrBadSignature, name)
+	}
+	if enabled {
+		r.cacheMu.Lock()
+		if r.cache != nil {
+			if len(r.cache) >= r.cacheCap {
+				r.cache = make(map[[sha256.Size]byte]struct{}, r.cacheCap)
+			}
+			r.cache[key] = struct{}{}
+		}
+		r.cacheMu.Unlock()
 	}
 	return nil
 }

@@ -1,12 +1,13 @@
 package netsim
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"github.com/seldel/seldel/internal/simclock"
 )
 
 // Errors returned by the network.
@@ -32,16 +33,40 @@ type Handler func(Message)
 
 // Config parameterizes a Network.
 type Config struct {
-	// Latency delays every delivery; zero keeps the network synchronous
-	// enough for deterministic tests.
+	// Latency delays every delivery on the virtual clock; zero keeps the
+	// network synchronous enough for deterministic tests.
 	Latency time.Duration
 	// DropRate is the probability in [0,1) of silently dropping a
 	// message (broadcast copies drop independently).
 	DropRate float64
-	// Seed drives the deterministic drop decisions.
+	// Seed drives the deterministic drop, loss, and jitter decisions.
+	// Decisions are keyed per directed link and per-link sequence number,
+	// not by global draw order, so they do not depend on goroutine
+	// interleaving.
 	Seed int64
 	// QueueSize bounds each endpoint's inbox (default 1024).
 	QueueSize int
+	// Clock is the virtual timebase, in nanoseconds. All latency, lag,
+	// and link delays are simulated by advancing this clock during
+	// Flush — the harness never sleeps for simulated time, so a
+	// 100-node WAN drill with 80ms links runs as fast as the handlers
+	// can go. Nil gets a private clock starting at zero.
+	Clock *simclock.Logical
+}
+
+// LinkProfile shapes one directed link of the simulated WAN.
+type LinkProfile struct {
+	// Delay is the one-way propagation delay (virtual time).
+	Delay time.Duration
+	// Jitter adds a deterministic per-message extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1) of dropping a message on this
+	// link, independent of the network-wide DropRate.
+	Loss float64
+}
+
+func (p LinkProfile) zero() bool {
+	return p.Delay == 0 && p.Jitter == 0 && p.Loss == 0
 }
 
 // Stats counts network activity.
@@ -52,6 +77,35 @@ type Stats struct {
 	Bytes     uint64
 }
 
+type linkKey struct{ from, to string }
+
+// pendingMsg is a message waiting in the virtual-time delay heap.
+type pendingMsg struct {
+	due    uint64 // virtual nanoseconds at which the message arrives
+	seq    uint64 // tie-break: FIFO among equal due times
+	target *Endpoint
+	msg    Message
+}
+
+type delayHeap []pendingMsg
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(pendingMsg)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // Network routes messages between named endpoints.
 type Network struct {
 	mu        sync.Mutex
@@ -59,14 +113,27 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	groups    map[string]int // partition group per endpoint; same group = reachable
 	lag       map[string]time.Duration
-	rng       *rand.Rand
+	links     map[linkKey]LinkProfile
+	linkSeq   map[linkKey]uint64
+	geo       *Geo
+	pending   delayHeap
+	pendSeq   uint64
+	clock     *simclock.Logical
 	stats     Stats
 	closed    bool
 	wg        sync.WaitGroup
 	// inFlight counts messages from the moment they are accepted for
-	// delivery until their handler returns (covering latency delay, inbox
-	// residence, and handler execution); Flush waits for it to hit zero.
-	inFlight atomic.Int64
+	// immediate delivery until their handler returns (covering inbox
+	// residence and handler execution); Flush waits for it to hit zero
+	// before advancing virtual time. Messages waiting in the delay heap
+	// are NOT counted here — they are released by Flush. Guarded by
+	// flightMu; flightZero signals the zero crossing so Flush can wake
+	// immediately instead of sleep-polling (the virtual clock releases
+	// one due-instant batch per quiescent window, so this wait is on the
+	// drill hot path at WAN scale).
+	flightMu   sync.Mutex
+	flightCond *sync.Cond
+	inFlight   int64
 }
 
 // New creates a network.
@@ -74,14 +141,45 @@ func New(cfg Config) *Network {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 1024
 	}
-	return &Network{
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.NewLogical(0)
+	}
+	n := &Network{
 		cfg:       cfg,
 		endpoints: make(map[string]*Endpoint),
 		groups:    make(map[string]int),
 		lag:       make(map[string]time.Duration),
-		rng:       rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // simulation determinism, not crypto
+		links:     make(map[linkKey]LinkProfile),
+		linkSeq:   make(map[linkKey]uint64),
+		clock:     clock,
 	}
+	n.flightCond = sync.NewCond(&n.flightMu)
+	return n
 }
+
+// addFlight adjusts the in-flight message count, waking Flush when the
+// count returns to zero.
+func (n *Network) addFlight(d int64) {
+	n.flightMu.Lock()
+	n.inFlight += d
+	if n.inFlight == 0 {
+		n.flightCond.Broadcast()
+	}
+	n.flightMu.Unlock()
+}
+
+func (n *Network) flightZero() bool {
+	n.flightMu.Lock()
+	defer n.flightMu.Unlock()
+	return n.inFlight == 0
+}
+
+// Clock returns the network's virtual timebase (nanosecond units).
+func (n *Network) Clock() *simclock.Logical { return n.clock }
+
+// Now returns the elapsed virtual time since the clock's zero point.
+func (n *Network) Now() time.Duration { return time.Duration(n.clock.Now()) }
 
 // Endpoint is one attached participant.
 type Endpoint struct {
@@ -138,7 +236,7 @@ func (n *Network) Join(name string, handler Handler) (*Endpoint, error) {
 func (ep *Endpoint) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	handle := func(msg Message) {
-		defer ep.net.inFlight.Add(-1) // accepted at send time
+		defer ep.net.addFlight(-1) // accepted at send/release time
 		ep.handler(msg)
 	}
 	for {
@@ -189,6 +287,59 @@ func (ep *Endpoint) Leave() {
 	ep.shutdown()
 }
 
+// splitmix64 is the SplitMix64 finalizer — a strong 64-bit mixer used to
+// derive per-message pseudo-random decisions from (seed, link, counter)
+// keys so that drop and jitter outcomes depend only on the link's own
+// message sequence, never on cross-link goroutine interleaving.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// linkDraw returns a deterministic uniform value in [0,1) for the seq-th
+// message on the directed link, per salt (distinct salts give independent
+// decision streams: network drop, link loss, jitter).
+func (n *Network) linkDraw(key linkKey, seq, salt uint64) float64 {
+	h := splitmix64(uint64(n.cfg.Seed) ^ hashString(key.from))
+	h = splitmix64(h ^ hashString(key.to))
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ salt)
+	return float64(h>>11) / (1 << 53)
+}
+
+const (
+	saltDrop   = 0x01
+	saltLoss   = 0x02
+	saltJitter = 0x03
+)
+
+// profileFor resolves the directed link profile: explicit SetLink
+// overrides win, then the installed Geo topology, then the zero profile.
+// Caller holds n.mu.
+func (n *Network) profileFor(key linkKey) LinkProfile {
+	if p, ok := n.links[key]; ok {
+		return p
+	}
+	if n.geo != nil {
+		if p, ok := n.geo.profile(key.from, key.to); ok {
+			return p
+		}
+	}
+	return LinkProfile{}
+}
+
 func (n *Network) send(from, to, kind string, payload []byte) error {
 	n.mu.Lock()
 	if n.closed {
@@ -208,43 +359,62 @@ func (n *Network) send(from, to, kind string, payload []byte) error {
 		n.mu.Unlock()
 		return nil
 	}
-	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+	key := linkKey{from, to}
+	seq := n.linkSeq[key]
+	n.linkSeq[key] = seq + 1
+	profile := n.profileFor(key)
+	if n.cfg.DropRate > 0 && n.linkDraw(key, seq, saltDrop) < n.cfg.DropRate {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	if profile.Loss > 0 && n.linkDraw(key, seq, saltLoss) < profile.Loss {
 		n.stats.Dropped++
 		n.mu.Unlock()
 		return nil
 	}
 	// A lagging endpoint is slow on both directions of its link: its
-	// uplink and downlink delays stack on the network-wide latency.
-	latency := n.cfg.Latency + n.lag[from] + n.lag[to]
-	n.mu.Unlock()
-
+	// uplink and downlink delays stack on the network-wide latency and
+	// the directed link profile.
+	latency := n.cfg.Latency + n.lag[from] + n.lag[to] + profile.Delay
+	if profile.Jitter > 0 {
+		latency += time.Duration(n.linkDraw(key, seq, saltJitter) * float64(profile.Jitter))
+	}
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
-	n.inFlight.Add(1) // released by the receiver's handler (or on drop)
-	deliver := func() error {
-		target.sendMu.Lock()
-		defer target.sendMu.Unlock()
-		if target.dead {
-			n.inFlight.Add(-1) // receiver left; treat as drop
-			return nil
-		}
-		// Not dead, so run() is still draining: this send cannot block
-		// forever, and the message is guaranteed to be handled.
-		target.inbox <- msg
-		n.mu.Lock()
-		n.stats.Delivered++
+	if latency > 0 {
+		// Park in the virtual-time heap; Flush advances the clock and
+		// releases it. No wall time passes for simulated delay.
+		heap.Push(&n.pending, pendingMsg{
+			due:    n.clock.Now() + uint64(latency),
+			seq:    n.pendSeq,
+			target: target,
+			msg:    msg,
+		})
+		n.pendSeq++
 		n.mu.Unlock()
 		return nil
 	}
-	if latency == 0 {
-		return deliver()
-	}
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		time.Sleep(latency)
-		_ = deliver()
-	}()
+	n.mu.Unlock()
+	n.addFlight(1) // released by the receiver's handler (or on drop)
+	n.deliver(target, msg)
 	return nil
+}
+
+// deliver hands msg to the target's inbox, accounting for a concurrent
+// leave. The caller must already have incremented inFlight.
+func (n *Network) deliver(target *Endpoint, msg Message) {
+	target.sendMu.Lock()
+	defer target.sendMu.Unlock()
+	if target.dead {
+		n.addFlight(-1) // receiver left; treat as drop
+		return
+	}
+	// Not dead, so run() is still draining: this send cannot block
+	// forever, and the message is guaranteed to be handled.
+	target.inbox <- msg
+	n.mu.Lock()
+	n.stats.Delivered++
+	n.mu.Unlock()
 }
 
 func (n *Network) broadcast(from, kind string, payload []byte) {
@@ -288,7 +458,7 @@ func (n *Network) Heal() {
 	}
 }
 
-// SetDropRate changes the drop probability.
+// SetDropRate changes the network-wide drop probability.
 func (n *Network) SetDropRate(r float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -297,6 +467,8 @@ func (n *Network) SetDropRate(r float64) {
 
 // SetPeerLatency adds a delivery delay to every message sent to or from
 // the named endpoint — the lagging-node scenario. Zero removes the lag.
+// The delay is virtual: Flush advances the clock past it without
+// sleeping.
 func (n *Network) SetPeerLatency(name string, d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -305,6 +477,29 @@ func (n *Network) SetPeerLatency(name string, d time.Duration) {
 		return
 	}
 	n.lag[name] = d
+}
+
+// SetLink installs a directed link profile between two endpoints,
+// overriding any installed Geo topology for that pair. A zero profile
+// removes the override.
+func (n *Network) SetLink(from, to string, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := linkKey{from, to}
+	if p.zero() {
+		delete(n.links, key)
+		return
+	}
+	n.links[key] = p
+}
+
+// SetGeo installs (or, with nil, removes) a geographic topology: every
+// directed pair of endpoints not covered by an explicit SetLink override
+// takes its profile from the regions the endpoints are assigned to.
+func (n *Network) SetGeo(g *Geo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.geo = g
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -326,6 +521,8 @@ func (n *Network) Names() []string {
 }
 
 // Close shuts the network down and waits for all deliveries to finish.
+// Messages still parked in the virtual-time heap are discarded (UDP-like
+// shutdown semantics, matching the in-flight drop behaviour).
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -333,6 +530,7 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
+	n.pending = nil
 	eps := make([]*Endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
@@ -344,15 +542,59 @@ func (n *Network) Close() {
 	n.wg.Wait()
 }
 
-// Flush blocks until all queues are empty and no handler or delayed
-// delivery is in flight, i.e. the network reached quiescence. Tests use
-// it instead of sleeping.
+// Flush blocks until the network reaches quiescence: all inboxes are
+// empty, no handler is running, and the virtual-time heap is drained.
+// It alternates two phases — wait for running handlers to finish, then
+// advance the virtual clock to the next delivery time and release that
+// batch — so simulated WAN latency costs no wall-clock time. Tests use
+// Flush instead of sleeping.
 func (n *Network) Flush() {
-	for !n.quiet() {
-		time.Sleep(100 * time.Microsecond)
+	for {
+		n.waitHandlers()
+		if n.releaseNextDue() {
+			continue
+		}
+		// Nothing due; if a handler snuck a zero-latency send in after
+		// the wait, loop once more, otherwise the network is quiet.
+		if n.flightZero() && !n.hasPending() {
+			return
+		}
 	}
 }
 
-func (n *Network) quiet() bool {
-	return n.inFlight.Load() == 0
+func (n *Network) waitHandlers() {
+	n.flightMu.Lock()
+	for n.inFlight != 0 {
+		n.flightCond.Wait()
+	}
+	n.flightMu.Unlock()
+}
+
+func (n *Network) hasPending() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending) > 0
+}
+
+// releaseNextDue pops every parked message sharing the earliest due
+// time, advances the virtual clock to that instant, and delivers the
+// batch in send order. It reports whether anything was released.
+func (n *Network) releaseNextDue() bool {
+	n.mu.Lock()
+	if len(n.pending) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	due := n.pending[0].due
+	var batch []pendingMsg
+	for len(n.pending) > 0 && n.pending[0].due == due {
+		batch = append(batch, heap.Pop(&n.pending).(pendingMsg))
+	}
+	n.mu.Unlock()
+	n.clock.Set(due)
+	for _, pm := range batch {
+		n.addFlight(1)
+		n.deliver(pm.target, pm.msg)
+	}
+	return true
 }

@@ -206,7 +206,7 @@ func TestDropRate(t *testing.T) {
 	}
 }
 
-func TestLatencyDelaysDelivery(t *testing.T) {
+func TestLatencyDelaysDeliveryOnVirtualClock(t *testing.T) {
 	n := New(Config{Latency: 20 * time.Millisecond})
 	defer n.Close()
 	var got collector
@@ -217,16 +217,20 @@ func TestLatencyDelaysDelivery(t *testing.T) {
 	if _, err := n.Join("b", got.handle); err != nil {
 		t.Fatal(err)
 	}
-	start := time.Now()
 	if err := a.Send("b", "x", nil); err != nil {
 		t.Fatal(err)
+	}
+	if got.count() != 0 {
+		t.Fatal("latent message delivered before Flush advanced the clock")
 	}
 	n.Flush()
 	if got.count() != 1 {
 		t.Fatal("message not delivered")
 	}
-	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
-		t.Errorf("delivered after %v, want >= ~20ms", elapsed)
+	// The delay is simulated: the virtual clock advanced by the latency,
+	// without the wall-clock sleep the old implementation paid.
+	if v := n.Now(); v != 20*time.Millisecond {
+		t.Errorf("virtual clock = %v, want 20ms", v)
 	}
 }
 
@@ -382,7 +386,6 @@ func TestPeerLatencyLagsOneEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.SetPeerLatency("slow", 20*time.Millisecond)
-	start := time.Now()
 	if err := a.Send("fast", "x", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -390,21 +393,25 @@ func TestPeerLatencyLagsOneEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Flush()
-	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
-		t.Errorf("flush returned after %v, lagged delivery should take >= 20ms", elapsed)
+	if v := n.Now(); v != 20*time.Millisecond {
+		t.Errorf("virtual clock = %v, lagged delivery should advance it to 20ms", v)
 	}
 	if fast.count() != 1 || slow.count() != 1 {
 		t.Errorf("delivery counts: fast=%d slow=%d", fast.count(), slow.count())
 	}
-	// Clearing the lag restores immediate delivery.
+	// Clearing the lag restores immediate delivery: no further virtual
+	// time passes.
 	n.SetPeerLatency("slow", 0)
-	start = time.Now()
+	before := n.Now()
 	if err := a.Send("slow", "x", nil); err != nil {
 		t.Fatal(err)
 	}
 	n.Flush()
-	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
-		t.Errorf("cleared lag still delayed delivery by %v", elapsed)
+	if v := n.Now(); v != before {
+		t.Errorf("cleared lag still advanced the clock by %v", v-before)
+	}
+	if slow.count() != 2 {
+		t.Errorf("slow count = %d, want 2", slow.count())
 	}
 }
 

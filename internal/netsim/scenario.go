@@ -14,6 +14,10 @@ type StepResult struct {
 	// Elapsed is the wall-clock duration of the step including the
 	// flush to quiescence.
 	Elapsed time.Duration
+	// VirtualElapsed is how far the network's virtual clock advanced
+	// during the step — the simulated WAN time the step consumed, which
+	// is deterministic even when Elapsed is not.
+	VirtualElapsed time.Duration
 }
 
 // Scenario scripts a fault-injection sequence against a Network. Each
@@ -22,6 +26,10 @@ type StepResult struct {
 // multi-phase drills (partition → write → heal → converge) deterministic
 // without sleeps. Steps after a failed step are skipped, so a transcript
 // reads like a stack trace: the first Err is the step that broke.
+//
+// All simulated delay is virtual (see Network.Flush): a scenario over
+// 80ms WAN links runs in milliseconds of wall time and its
+// VirtualElapsed column is reproducible bit-for-bit.
 //
 // Scenario is a sequencing tool, not a synchronization one: it must be
 // driven from a single goroutine (the actions themselves may spawn
@@ -49,13 +57,19 @@ func (s *Scenario) Step(name string, do func() error) error {
 		return s.history[len(s.history)-1].Err
 	}
 	start := time.Now()
+	vstart := s.net.Now()
 	err := do()
 	s.net.Flush()
 	if err != nil {
 		err = fmt.Errorf("netsim: step %q: %w", name, err)
 		s.failed = err
 	}
-	s.history = append(s.history, StepResult{Name: name, Err: err, Elapsed: time.Since(start)})
+	s.history = append(s.history, StepResult{
+		Name:           name,
+		Err:            err,
+		Elapsed:        time.Since(start),
+		VirtualElapsed: s.net.Now() - vstart,
+	})
 	return err
 }
 
@@ -80,6 +94,65 @@ func (s *Scenario) Heal(name string) error {
 // describes the invariant being verified rather than an action.
 func (s *Scenario) Check(name string, verify func() error) error {
 	return s.Step(name, verify)
+}
+
+// Storm scripts a crash-restart storm: repeated waves where a subset of
+// nodes is stopped, optional work runs against the degraded cluster,
+// and the subset is restarted. The harness stays agnostic of what a
+// "node" is — the callbacks own process lifecycle (typically
+// Node.Close and a rejoin-under-the-same-name constructor).
+type Storm struct {
+	// Waves is how many stop/restart cycles to run.
+	Waves int
+	// Nodes picks the endpoint names cycled in the given wave
+	// (0-based). Returning nil makes the wave a no-op.
+	Nodes func(wave int) []string
+	// Stop crashes one node. Called for each name in the wave's subset.
+	Stop func(name string) error
+	// Restart brings one crashed node back under its old name.
+	Restart func(name string) error
+	// During, if non-nil, runs while the wave's subset is down — the
+	// load the survivors must absorb.
+	During func(wave int) error
+}
+
+// Storm runs the storm as a series of recorded sub-steps
+// ("name/wave2/stop", "name/wave2/during", "name/wave2/restart"),
+// flushing to quiescence between phases so every wave observes a
+// settled cluster. It fails fast on the first erroring phase and
+// returns the scenario's first error.
+func (s *Scenario) Storm(name string, st Storm) error {
+	for wave := 0; wave < st.Waves; wave++ {
+		targets := st.Nodes(wave)
+		if len(targets) == 0 {
+			continue
+		}
+		s.Step(fmt.Sprintf("%s/wave%d/stop", name, wave), func() error {
+			for _, t := range targets {
+				if err := st.Stop(t); err != nil {
+					return fmt.Errorf("stop %s: %w", t, err)
+				}
+			}
+			return nil
+		})
+		if st.During != nil {
+			s.Step(fmt.Sprintf("%s/wave%d/during", name, wave), func() error {
+				return st.During(wave)
+			})
+		}
+		s.Step(fmt.Sprintf("%s/wave%d/restart", name, wave), func() error {
+			for _, t := range targets {
+				if err := st.Restart(t); err != nil {
+					return fmt.Errorf("restart %s: %w", t, err)
+				}
+			}
+			return nil
+		})
+		if s.failed != nil {
+			break
+		}
+	}
+	return s.failed
 }
 
 // Err returns the first step failure, or nil while the scenario is

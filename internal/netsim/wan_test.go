@@ -1,0 +1,412 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLinkProfileDelayAndAsymmetry(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var a2b, b2a collector
+	a, err := n.Join("a", b2a.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Join("b", a2b.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLink("a", "b", LinkProfile{Delay: 10 * time.Millisecond})
+	n.SetLink("b", "a", LinkProfile{Delay: 30 * time.Millisecond})
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if v := n.Now(); v != 10*time.Millisecond {
+		t.Errorf("a->b advanced clock to %v, want 10ms", v)
+	}
+	if err := b.Send("a", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if v := n.Now(); v != 40*time.Millisecond {
+		t.Errorf("b->a advanced clock to %v, want 40ms (asymmetric return)", v)
+	}
+	if a2b.count() != 1 || b2a.count() != 1 {
+		t.Errorf("deliveries a2b=%d b2a=%d", a2b.count(), b2a.count())
+	}
+	// A zero profile clears the override.
+	n.SetLink("a", "b", LinkProfile{})
+	before := n.Now()
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if n.Now() != before {
+		t.Error("cleared link still delayed delivery")
+	}
+}
+
+func TestLinkLossIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (delivered, dropped uint64) {
+		n := New(Config{Seed: seed})
+		defer n.Close()
+		a, err := n.Join("a", func(Message) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Join("b", func(Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		n.SetLink("a", "b", LinkProfile{Loss: 0.5})
+		for i := 0; i < 200; i++ {
+			if err := a.Send("b", "x", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Flush()
+		s := n.Stats()
+		return s.Delivered, s.Dropped
+	}
+	d1, x1 := run(7)
+	d2, x2 := run(7)
+	if d1 != d2 || x1 != x2 {
+		t.Errorf("same seed diverged: run1 %d/%d run2 %d/%d", d1, x1, d2, x2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Errorf("loss 0.5 over 200 sends gave delivered=%d dropped=%d, want both nonzero", d1, x1)
+	}
+	d3, x3 := run(8)
+	if d3 == d1 && x3 == x1 {
+		t.Log("different seeds coincided (possible but unlikely); counts:", d3, x3)
+	}
+}
+
+func TestJitterIsDeterministicAndBounded(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(Config{Seed: 42})
+		defer n.Close()
+		a, err := n.Join("a", func(Message) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Join("b", func(Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		n.SetLink("a", "b", LinkProfile{Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+		var marks []time.Duration
+		for i := 0; i < 20; i++ {
+			if err := a.Send("b", "x", nil); err != nil {
+				t.Fatal(err)
+			}
+			n.Flush()
+			marks = append(marks, n.Now())
+		}
+		return marks
+	}
+	m1 := run()
+	m2 := run()
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("delivery %d: virtual times diverged (%v vs %v)", i, m1[i], m2[i])
+		}
+	}
+	prev := time.Duration(0)
+	varied := false
+	for i, m := range m1 {
+		step := m - prev
+		prev = m
+		if step < 10*time.Millisecond || step >= 15*time.Millisecond {
+			t.Errorf("delivery %d took %v, want in [10ms, 15ms)", i, step)
+		}
+		if step != 10*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never added any delay over 20 sends")
+	}
+}
+
+func TestGeoPresetsRouteByRegion(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		geo     *Geo
+		regions int
+	}{
+		{"three", ThreeRegions(), 3},
+		{"five", FiveRegions(), 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(tc.geo.Regions()); got != tc.regions {
+				t.Fatalf("%d regions, want %d", got, tc.regions)
+			}
+			// Every directed inter-region pair has a nonzero delay.
+			for _, from := range tc.geo.Regions() {
+				for _, to := range tc.geo.Regions() {
+					if from == to {
+						continue
+					}
+					tc.geo.mu.Lock()
+					p := tc.geo.inter[linkKey{from, to}]
+					tc.geo.mu.Unlock()
+					if p.Delay == 0 {
+						t.Errorf("no delay for %s->%s", from, to)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeoInstalledOnNetwork(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("c", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeo(LinkProfile{})
+	g.SetInterRegion("east", "west", LinkProfile{Delay: 40 * time.Millisecond})
+	g.SetInterRegion("west", "east", LinkProfile{Delay: 40 * time.Millisecond})
+	g.Assign("a", "east")
+	g.Assign("b", "west")
+	g.Assign("c", "east")
+	n.SetGeo(g)
+	if err := a.Send("c", "x", nil); err != nil { // same region: local profile (zero)
+		t.Fatal(err)
+	}
+	n.Flush()
+	if n.Now() != 0 {
+		t.Errorf("same-region send advanced clock to %v", n.Now())
+	}
+	if err := a.Send("b", "x", nil); err != nil { // cross region
+		t.Fatal(err)
+	}
+	n.Flush()
+	if n.Now() != 40*time.Millisecond {
+		t.Errorf("cross-region send advanced clock to %v, want 40ms", n.Now())
+	}
+	// Explicit SetLink override beats the geo matrix.
+	n.SetLink("a", "b", LinkProfile{Delay: 5 * time.Millisecond})
+	if err := a.Send("b", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if n.Now() != 45*time.Millisecond {
+		t.Errorf("override send advanced clock to %v, want 45ms", n.Now())
+	}
+	if got.count() != 3 {
+		t.Errorf("deliveries = %d, want 3", got.count())
+	}
+}
+
+func TestGeoAssignRoundRobin(t *testing.T) {
+	g := ThreeRegions()
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	g.AssignRoundRobin(nodes...)
+	want := []string{"us-east", "eu-west", "ap-south", "us-east", "eu-west"}
+	for i, node := range nodes {
+		if r := g.Region(node); r != want[i] {
+			t.Errorf("Region(%s) = %q, want %q", node, r, want[i])
+		}
+	}
+	if m := g.Members("us-east"); len(m) != 2 || m[0] != "n0" || m[1] != "n3" {
+		t.Errorf("Members(us-east) = %v", m)
+	}
+}
+
+func TestHandlerRelayAcrossDelayedLinks(t *testing.T) {
+	// A relayed message accumulates virtual delay across hops: src -> hop
+	// (10ms) then hop -> dst (20ms) must land at 30ms, with the relay
+	// send issued from inside a handler during Flush.
+	n := New(Config{})
+	defer n.Close()
+	var final collector
+	src, err := n.Join("src", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hop *Endpoint
+	hop, err = n.Join("hop", func(m Message) {
+		if m.Kind == "fwd" {
+			_ = hop.Send("dst", "done", m.Payload)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("dst", final.handle); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLink("src", "hop", LinkProfile{Delay: 10 * time.Millisecond})
+	n.SetLink("hop", "dst", LinkProfile{Delay: 20 * time.Millisecond})
+	if err := src.Send("hop", "fwd", []byte("relay")); err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+	if final.count() != 1 {
+		t.Fatal("relayed message not delivered")
+	}
+	if v := n.Now(); v != 30*time.Millisecond {
+		t.Errorf("virtual clock = %v, want 30ms across two hops", v)
+	}
+}
+
+func TestStormCyclesNodes(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var mu sync.Mutex
+	eps := make(map[string]*Endpoint)
+	join := func(name string) error {
+		ep, err := n.Join(name, func(Message) {})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		eps[name] = ep
+		mu.Unlock()
+		return nil
+	}
+	for _, name := range []string{"n0", "n1", "n2"} {
+		if err := join(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var duringWaves []int
+	sc := NewScenario(n)
+	err := sc.Storm("storm", Storm{
+		Waves: 3,
+		Nodes: func(wave int) []string { return []string{fmt.Sprintf("n%d", wave)} },
+		Stop: func(name string) error {
+			mu.Lock()
+			ep := eps[name]
+			mu.Unlock()
+			ep.Leave()
+			return nil
+		},
+		Restart: func(name string) error { return join(name) },
+		During: func(wave int) error {
+			duringWaves = append(duringWaves, wave)
+			// The survivors can still talk while the wave's node is down.
+			mu.Lock()
+			survivor := eps["n"+fmt.Sprint((wave+1)%3)]
+			other := "n" + fmt.Sprint((wave+2)%3)
+			mu.Unlock()
+			return survivor.Send(other, "ping", nil)
+		},
+	})
+	if err != nil {
+		t.Fatalf("storm failed: %v", err)
+	}
+	if len(duringWaves) != 3 {
+		t.Errorf("During ran %d times, want 3", len(duringWaves))
+	}
+	hist := sc.History()
+	if len(hist) != 9 { // 3 waves x (stop, during, restart)
+		t.Errorf("history has %d steps, want 9: %+v", len(hist), hist)
+	}
+	if names := n.Names(); len(names) != 3 {
+		t.Errorf("cluster has %d endpoints after storm, want 3", len(names))
+	}
+}
+
+func TestStormFailsFast(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	boom := errors.New("boom")
+	sc := NewScenario(n)
+	stops := 0
+	err := sc.Storm("storm", Storm{
+		Waves: 3,
+		Nodes: func(int) []string { return []string{"x"} },
+		Stop: func(string) error {
+			stops++
+			return boom
+		},
+		Restart: func(string) error { return nil },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if stops != 1 {
+		t.Errorf("stop ran %d times after failure, want 1", stops)
+	}
+}
+
+func TestVirtualElapsedRecordedPerStep(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got collector
+	a, err := n.Join("a", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join("b", got.handle); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLink("a", "b", LinkProfile{Delay: 25 * time.Millisecond})
+	sc := NewScenario(n)
+	_ = sc.Step("send", func() error { return a.Send("b", "x", nil) })
+	_ = sc.Check("noop", func() error { return nil })
+	hist := sc.History()
+	if hist[0].VirtualElapsed != 25*time.Millisecond {
+		t.Errorf("step 0 virtual elapsed = %v, want 25ms", hist[0].VirtualElapsed)
+	}
+	if hist[1].VirtualElapsed != 0 {
+		t.Errorf("step 1 virtual elapsed = %v, want 0", hist[1].VirtualElapsed)
+	}
+}
+
+func TestScaleManyNodesVirtualBroadcast(t *testing.T) {
+	// 100 endpoints on the 5-region preset: a broadcast storm settles in
+	// bounded wall time because all WAN delay is virtual.
+	n := New(Config{})
+	defer n.Close()
+	g := FiveRegions()
+	names := make([]string, 100)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%02d", i)
+	}
+	g.AssignRoundRobin(names...)
+	n.SetGeo(g)
+	var handled atomic.Int64
+	eps := make([]*Endpoint, len(names))
+	for i, name := range names {
+		ep, err := n.Join(name, func(Message) { handled.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	start := time.Now()
+	for _, ep := range eps {
+		ep.Broadcast("gossip", []byte("x"))
+	}
+	n.Flush()
+	wall := time.Since(start)
+	s := n.Stats()
+	if want := uint64(100 * 99); s.Delivered != want || handled.Load() != int64(want) {
+		t.Errorf("delivered %d handled %d, want %d", s.Delivered, handled.Load(), want)
+	}
+	if n.Now() < 30*time.Millisecond {
+		t.Errorf("virtual clock only advanced to %v over a 5-region broadcast", n.Now())
+	}
+	// Generous bound: the point is that we did not sleep ~100ms x many
+	// batches of real time.
+	if wall > 30*time.Second {
+		t.Errorf("broadcast storm took %v of wall time", wall)
+	}
+}

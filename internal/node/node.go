@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/seldel/seldel/internal/attack"
@@ -53,6 +55,16 @@ type Config struct {
 	// empty-pool Propose seals a filler — which deterministic drivers
 	// rely on.
 	FillerInterval time.Duration
+	// VoteRetryInterval makes the node self-driving on lossy networks:
+	// while a due summary vote stays incomplete, the node re-announces
+	// its vote every interval (each re-announcement triggers the peers'
+	// repair answers) instead of waiting for the next caller-driven
+	// Propose. Zero disables the timer — deterministic drivers own time.
+	VoteRetryInterval time.Duration
+	// Logf, when set, receives the node's rare operator-facing log lines
+	// (today: entering sync-offer suppression against a misbehaving
+	// peer). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // ErrSummaryPending is returned while the quorum vote for the due
@@ -84,10 +96,49 @@ const summaryWait = 25 * time.Millisecond
 // voteState tracks the quorum votes for one pending summary block.
 type voteState struct {
 	counts    map[codec.Hash]int
-	voted     map[string]bool
+	voted     map[string]codec.Hash // sender → hash it voted for
 	localHash codec.Hash
 	localSet  bool
 	applied   bool
+	// evidence keeps the raw signed vote envelopes seen per sender for
+	// this round, keyed by claimed hash. Two entries for one sender are
+	// proof of equivocation: both are relayable and independently
+	// verifiable by any peer.
+	evidence map[string]map[codec.Hash][]byte
+	// relayed tracks which disagreeing (sender, hash) votes we already
+	// forwarded as evidence, so relay-on-disagreement sends each at most
+	// once.
+	relayed map[string]map[codec.Hash]bool
+}
+
+// offerRejectLimit is how many consecutive resurrection-rejected catch-up
+// offers a peer may send before the node stops reading its offers
+// entirely (satellite defense against forged-snapshot spam). The counter
+// resets when the node itself asks that peer for data again.
+const offerRejectLimit = 3
+
+// SyncStats counts the node's catch-up traffic: snapshot offers by
+// outcome, chunk flow in both directions, and the high-water mark of
+// blocks staged in the receive path (which the chunked protocol keeps
+// bounded regardless of chain length).
+type SyncStats struct {
+	// OffersStarted..OffersIgnored count received snapshot offers:
+	// accepted-and-streaming, adopted, failed mid-stream, rejected by the
+	// resurrection floor, dropped before decode because the sender is in
+	// rejection backoff, and dropped because another offer was already
+	// streaming.
+	OffersStarted    uint64
+	OffersCompleted  uint64
+	OffersAborted    uint64
+	OffersRejected   uint64
+	OffersSuppressed uint64
+	OffersIgnored    uint64
+	// ChunksSent and ChunksReceived count snapshot chunks on the wire.
+	ChunksSent     uint64
+	ChunksReceived uint64
+	// PeakStagedBlocks is the most blocks that ever sat decoded in the
+	// receive path awaiting restore-pipeline registration.
+	PeakStagedBlocks int64
 }
 
 // Node is one anchor node.
@@ -116,6 +167,69 @@ type Node struct {
 	// limit on empty-pool filler blocks; lastFiller is guarded by mu.
 	fillerEvery time.Duration
 	lastFiller  time.Time
+
+	logf func(format string, args ...any)
+
+	// equivocators holds quorum members this node has proof (two
+	// conflicting signed votes for one round) deviated from the
+	// single-proposal rule. Their votes and catch-up offers are ignored
+	// and any already-counted votes were retracted. Guarded by mu.
+	equivocators map[string]bool
+
+	// voteRetry/retryTimer implement Config.VoteRetryInterval; the timer
+	// is armed while a summary vote is pending and guarded by mu.
+	voteRetry  time.Duration
+	retryTimer *time.Timer
+
+	// quit is closed by Close; the snapshot-session restore consumer
+	// selects on it so an offer in flight at shutdown unwinds instead of
+	// leaking its goroutine.
+	quit chan struct{}
+
+	// Snapshot catch-up state. sess is the single active inbound offer
+	// session; it is owned by the endpoint's delivery goroutine (all
+	// chunks arrive there), so it needs no lock. offerRejects /
+	// offerSuppressed track consecutive resurrection-rejected offers per
+	// peer (guarded by mu). snapOfferSeq numbers outgoing offers.
+	sess           *snapSession
+	offerRejects   map[string]int
+	suppressedLog  map[string]bool
+	snapOfferSeq   uint64 // guarded by mu
+	frozenOffer    []wire.SnapshotPayload
+	frozenOfferSet bool // guarded by mu with frozenOffer
+
+	// staged/stagedPeak gauge blocks decoded in the receive path but not
+	// yet consumed by the restore pipeline (atomics; see SyncStats).
+	staged     atomic.Int64
+	stagedPeak atomic.Int64
+	// stats counters below are guarded by mu.
+	stats SyncStats
+}
+
+// snapSession is one inbound snapshot offer being streamed into the
+// restore pipeline. The delivery goroutine feeds decoded blocks through
+// feed; a dedicated consumer goroutine runs chain.RestoreStream and
+// deposits the outcome in res (buffered, so it can always exit).
+type snapSession struct {
+	sender  string
+	offerID uint64
+	last    wire.SnapshotPayload // last accepted chunk's header (no blocks)
+	feed    chan snapFeedItem
+	res     chan snapResult
+	// dead is closed when the consumer goroutine stops reading (restore
+	// finished or failed); feed pushes select on it so an abort can never
+	// wedge the delivery goroutine against a full channel.
+	dead chan struct{}
+}
+
+type snapFeedItem struct {
+	b   *block.Block
+	err error
+}
+
+type snapResult struct {
+	c   *chain.Chain
+	err error
 }
 
 // New creates an anchor node and joins it to the network. With a
@@ -145,18 +259,28 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	n := &Node{
-		name:        cfg.Key.Name(),
-		key:         cfg.Key,
-		chain:       c,
-		chainCfg:    chainCfg,
-		engine:      cfg.Engine,
-		quorum:      cfg.Quorum,
-		store:       cfg.Store,
-		pool:        mempool.NewPool(),
-		tallies:     make(map[uint64]*voteState),
-		byzantine:   cfg.Byzantine,
-		fillerEvery: cfg.FillerInterval,
+		name:          cfg.Key.Name(),
+		key:           cfg.Key,
+		chain:         c,
+		chainCfg:      chainCfg,
+		engine:        cfg.Engine,
+		quorum:        cfg.Quorum,
+		store:         cfg.Store,
+		pool:          mempool.NewPool(),
+		tallies:       make(map[uint64]*voteState),
+		byzantine:     cfg.Byzantine,
+		fillerEvery:   cfg.FillerInterval,
+		voteRetry:     cfg.VoteRetryInterval,
+		logf:          logf,
+		equivocators:  make(map[string]bool),
+		offerRejects:  make(map[string]int),
+		suppressedLog: make(map[string]bool),
+		quit:          make(chan struct{}),
 	}
 	n.prop = mempool.NewBatcher(proposer{n}, mempool.Options{Warm: n.warmEntries})
 	if cfg.Network != nil {
@@ -207,7 +331,12 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	if n.retryTimer != nil {
+		n.retryTimer.Stop()
+		n.retryTimer = nil
+	}
 	n.mu.Unlock()
+	close(n.quit)
 	// Drain the proposal pipeline while still on the network: queued
 	// submissions may land on a due summary slot, and completing that
 	// vote needs the peers' answers to still reach us. Only then leave.
@@ -272,6 +401,28 @@ func (n *Node) Forked() bool {
 	return n.forked
 }
 
+// Equivocators returns the quorum members this node holds equivocation
+// proof against (two conflicting signed votes for one round), sorted.
+func (n *Node) Equivocators() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.equivocators))
+	for name := range n.equivocators {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncStats snapshots the node's catch-up counters.
+func (n *Node) SyncStats() SyncStats {
+	n.mu.Lock()
+	s := n.stats
+	n.mu.Unlock()
+	s.PeakStagedBlocks = n.stagedPeak.Load()
+	return s
+}
+
 // MempoolSize returns the number of pending gossip entries.
 func (n *Node) MempoolSize() int {
 	return n.pool.Len()
@@ -291,6 +442,8 @@ func (n *Node) handle(msg netsim.Message) {
 		n.handleBlock(env)
 	case wire.KindVote:
 		n.handleVote(env)
+	case wire.KindVoteEvidence:
+		n.handleVoteEvidence(env)
 	case wire.KindStatusReq:
 		n.handleStatusReq(env)
 	case wire.KindLookupReq:
@@ -598,13 +751,58 @@ func (n *Node) handleBlock(env wire.Envelope) {
 	n.afterAppend()
 }
 
-// requestSync asks peer for everything after our head.
+// requestSync asks peer for everything after our head. Asking is a
+// deliberate act, so it lifts any offer-rejection backoff against that
+// peer: the answer we just solicited will be read.
 func (n *Node) requestSync(peer string) {
 	if n.ep == nil {
 		return
 	}
+	n.mu.Lock()
+	delete(n.offerRejects, peer)
+	delete(n.suppressedLog, peer)
+	n.mu.Unlock()
 	body := wire.EncodeSyncReq(wire.SyncReqPayload{HeadNumber: n.Chain().Head().Number})
 	_ = n.ep.Send(peer, wire.KindSyncReq, wire.SealEnvelope(n.key, wire.KindSyncReq, body))
+}
+
+// offerGate applies the per-peer offer backoff: once a peer has had
+// offerRejectLimit consecutive offers rejected by the resurrection
+// floor, further unsolicited offers are dropped before decoding (logged
+// once per suppression episode). Returns false when the offer must be
+// ignored.
+func (n *Node) offerGate(peer string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.equivocators[peer] {
+		n.stats.OffersSuppressed++
+		return false
+	}
+	if n.offerRejects[peer] < offerRejectLimit {
+		return true
+	}
+	n.stats.OffersSuppressed++
+	if !n.suppressedLog[peer] {
+		n.suppressedLog[peer] = true
+		n.logf("node %s: suppressing catch-up offers from %s after %d resurrection-rejected offers", n.name, peer, n.offerRejects[peer])
+	}
+	return false
+}
+
+// noteOfferRejected records a resurrection-floor rejection of an offer
+// from peer; noteOfferAccepted clears the strike counter.
+func (n *Node) noteOfferRejected(peer string) {
+	n.mu.Lock()
+	n.offerRejects[peer]++
+	n.stats.OffersRejected++
+	n.mu.Unlock()
+}
+
+func (n *Node) noteOfferAccepted(peer string) {
+	n.mu.Lock()
+	delete(n.offerRejects, peer)
+	delete(n.suppressedLog, peer)
+	n.mu.Unlock()
 }
 
 // handleSyncReq serves catch-up data. A requester still inside our live
@@ -651,36 +849,95 @@ func (n *Node) handleSyncReq(env wire.Envelope) {
 		wire.SealEnvelope(n.key, wire.KindSyncResp, wire.EncodeSyncResp(resp)))
 }
 
-// sendSnapshot unicasts our snapshot-anchored live chain to peer. The
-// marker and head are taken from the streamed blocks themselves, so the
-// payload is internally consistent even if a truncation lands
-// concurrently.
+// snapChunkBlocks is the sender-side chunk size. It defaults to the wire
+// maximum; tests shrink it (same package) to exercise multi-chunk offers
+// without sealing hundreds of blocks first. Receivers accept any chunk
+// up to the wire bound, so the two sides need not agree.
+var snapChunkBlocks = wire.MaxSnapshotChunkBlocks
+
+// sendSnapshot streams our snapshot-anchored live chain to peer as a
+// sequence of bounded chunks sharing one offer ID. The offer's marker
+// and head are taken from the streamed blocks themselves, so the stream
+// is internally consistent even if a truncation lands concurrently. At
+// no point does the whole live window sit encoded in memory — the send
+// buffer holds at most one chunk.
+//
+// A ForgedSnapshot node serves the first offer it ever built, forever:
+// the replayed chunks are re-signed fresh (the forger IS a quorum
+// member; its signatures are genuine) but anchor at a marker the quorum
+// has long moved past — the receiver's resurrection floor is what must
+// catch that.
 func (n *Node) sendSnapshot(peer string, c *chain.Chain) {
-	var p wire.SnapshotPayload
-	if head, ok := c.TombstoneHead(); ok {
-		p.ManifestSeq = head.Seq
-		p.ManifestMarker = head.NewMarker
-	}
-	for b := range c.BlocksSeq() {
-		if len(p.Blocks) == 0 {
-			p.Marker = b.Header.Number
+	n.mu.Lock()
+	n.snapOfferSeq++
+	offerID := n.snapOfferSeq
+	frozen := n.frozenOfferSet
+	replay := append([]wire.SnapshotPayload(nil), n.frozenOffer...)
+	n.mu.Unlock()
+
+	if n.byzantine.ReplaysStaleSnapshot() && frozen {
+		for _, p := range replay {
+			p.OfferID = offerID
+			n.sendSnapshotChunk(peer, p)
 		}
-		p.Head = b.Header.Number
-		p.Blocks = append(p.Blocks, b.Encode())
-	}
-	if len(p.Blocks) == 0 || len(p.Blocks) > wire.MaxSyncBlocks {
-		// A live window beyond the wire bound cannot ship as one
-		// snapshot — the receiver would reject it on decode, so don't
-		// waste the send (ROADMAP: chunked snapshot streaming).
 		return
 	}
+
+	var sent []wire.SnapshotPayload
+	base := wire.SnapshotPayload{OfferID: offerID}
+	if head, ok := c.TombstoneHead(); ok {
+		base.ManifestSeq = head.Seq
+		base.ManifestMarker = head.NewMarker
+	}
+	chunk := base
+	idx := uint32(0)
+	flush := func(last bool) {
+		chunk.Chunk = idx
+		chunk.Last = last
+		n.sendSnapshotChunk(peer, chunk)
+		sent = append(sent, chunk)
+		idx++
+		next := base
+		next.Marker = chunk.Head + 1
+		chunk = next
+	}
+	for b := range c.BlocksSeq() {
+		if len(chunk.Blocks) >= snapChunkBlocks {
+			flush(false)
+		}
+		if len(chunk.Blocks) == 0 {
+			chunk.Marker = b.Header.Number
+		}
+		chunk.Head = b.Header.Number
+		chunk.Blocks = append(chunk.Blocks, b.Encode())
+	}
+	if len(chunk.Blocks) == 0 {
+		return
+	}
+	flush(true)
+
+	if n.byzantine.ReplaysStaleSnapshot() {
+		n.mu.Lock()
+		if !n.frozenOfferSet {
+			n.frozenOffer = sent
+			n.frozenOfferSet = true
+		}
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) sendSnapshotChunk(peer string, p wire.SnapshotPayload) {
 	_ = n.ep.Send(peer, wire.KindSnapshotResp,
 		wire.SealEnvelope(n.key, wire.KindSnapshotResp, wire.EncodeSnapshot(p)))
+	n.mu.Lock()
+	n.stats.ChunksSent++
+	n.mu.Unlock()
 }
 
 func (n *Node) handleSyncResp(env wire.Envelope) {
-	// Only quorum members are trusted for catch-up data.
-	if !n.quorum.Contains(env.Sender) {
+	// Only quorum members are trusted for catch-up data, and peers in
+	// offer-rejection backoff are not read at all.
+	if !n.quorum.Contains(env.Sender) || !n.offerGate(env.Sender) {
 		return
 	}
 	resp, err := wire.DecodeSyncResp(env.Body)
@@ -691,64 +948,227 @@ func (n *Node) handleSyncResp(env wire.Envelope) {
 	// Resurrection guard: our own deletion manifest is authoritative.
 	// Any offered block below the highest marker we recorded a deletion
 	// for would re-introduce data the quorum erased — drop the whole
-	// offer, whatever manifest head the sender claims.
+	// offer, whatever manifest head the sender claims, and give the
+	// sender a strike toward offer suppression.
 	floor := c.ResurrectionFloor()
+	appended := false
 	for _, raw := range resp.Blocks {
 		b, err := block.DecodeBlock(raw)
 		if err != nil {
 			return
 		}
 		if b.Header.Number < floor {
+			n.noteOfferRejected(env.Sender)
 			return
 		}
 		if err := c.AppendBlock(b); err != nil {
 			return // stale or diverged; a later gossip round retries
 		}
+		appended = true
 		n.removeFromMempool(b.Entries)
+	}
+	if appended {
+		n.noteOfferAccepted(env.Sender)
 	}
 	n.afterAppend()
 }
 
-// handleSnapshotResp adopts a quorum peer's snapshot-anchored status
-// quo: the payload's blocks stream through the chain restore pipeline
-// (decode → pool-verify → register, with the look-ahead window), the
-// restored chain is integrity-checked, and adoption happens only when
-// it is strictly ahead of the local head. The local store, if any, is
-// re-pointed at the adopted chain — the old suffix below the new marker
-// is physically deleted, exactly as if this node had executed the
-// quorum's truncations itself.
+// handleSnapshotResp streams a quorum peer's chunked snapshot offer into
+// the chain restore pipeline. Chunk 0 opens a session — after the
+// resurrection-floor check on the offered marker — and starts a consumer
+// goroutine running chain.RestoreStream on a channel-fed block sequence;
+// every in-order chunk decodes its blocks and feeds them through. Memory
+// stays bounded by one chunk plus the restore pipeline's look-ahead, not
+// by the offered chain's length. The final chunk closes the feed, and
+// the restored chain is adopted (adoptRestored) only when it is
+// integrity-clean and strictly ahead of the local head. Out-of-order,
+// cross-offer, or non-contiguous chunks abort the session.
 func (n *Node) handleSnapshotResp(env wire.Envelope) {
-	if !n.quorum.Contains(env.Sender) {
+	if !n.quorum.Contains(env.Sender) || !n.offerGate(env.Sender) {
 		return
 	}
 	p, err := wire.DecodeSnapshot(env.Body)
 	if err != nil {
 		return
 	}
-	// Resurrection guard: a snapshot anchored below our own recorded
-	// deletion floor would hand back blocks this node witnessed the
-	// quorum delete (e.g. a stale or malicious peer replaying an old
-	// status quo). The floor outlives the blocks themselves — it is
-	// re-seeded from the store's DELETIONS log on restart — so the check
-	// holds even when the local chain was rebuilt from scratch.
-	if p.Marker < n.Chain().ResurrectionFloor() {
-		return
-	}
-	restored, err := chain.RestoreStream(n.chainCfg, func(yield func(*block.Block, error) bool) {
-		for _, raw := range p.Blocks {
-			b, err := block.DecodeBlock(raw)
-			if !yield(b, err) || err != nil {
+	n.mu.Lock()
+	n.stats.ChunksReceived++
+	n.mu.Unlock()
+	sess := n.sess
+	if p.Chunk == 0 {
+		if sess != nil {
+			if sess.sender == env.Sender {
+				// The peer restarted its offer (e.g. after a crash):
+				// drop the stale session and start over.
+				n.abortSession(sess)
+			} else {
+				// One inbound offer at a time bounds restore work and
+				// staging memory; competing offers retry via later
+				// sync rounds.
+				n.mu.Lock()
+				n.stats.OffersIgnored++
+				n.mu.Unlock()
 				return
 			}
 		}
-	})
-	if err != nil {
+		// Resurrection guard: a snapshot anchored below our own recorded
+		// deletion floor would hand back blocks this node witnessed the
+		// quorum delete (e.g. a stale or malicious peer replaying an old
+		// status quo). The floor outlives the blocks themselves — it is
+		// re-seeded from the store's DELETIONS log on restart — so the
+		// check holds even when the local chain was rebuilt from scratch.
+		if p.Marker < n.Chain().ResurrectionFloor() {
+			n.noteOfferRejected(env.Sender)
+			return
+		}
+		sess = n.startSession(env.Sender, p.OfferID)
+		n.mu.Lock()
+		n.stats.OffersStarted++
+		n.mu.Unlock()
+	} else {
+		if sess == nil || sess.sender != env.Sender {
+			return // no session (or someone else's): drop the straggler
+		}
+		if err := wire.SnapshotChunkFollows(sess.last, p); err != nil {
+			n.abortSession(sess) // gap, replay, or cross-offer interleave
+			return
+		}
+	}
+	// Feed the chunk's blocks to the restore consumer in order.
+	for _, raw := range p.Blocks {
+		b, derr := block.DecodeBlock(raw)
+		if derr != nil {
+			n.abortSession(sess)
+			return
+		}
+		if !n.feedSession(sess, snapFeedItem{b: b}) {
+			n.abortSession(sess)
+			return
+		}
+	}
+	sess.last = p
+	sess.last.Blocks = nil
+	if !p.Last {
 		return
 	}
-	if err := restored.VerifyIntegrity(); err != nil {
-		restored.Close()
+	// Offer complete: close the feed, collect the restored chain.
+	n.sess = nil
+	close(sess.feed)
+	r := <-sess.res
+	if r.err != nil || r.c == nil {
+		n.mu.Lock()
+		n.stats.OffersAborted++
+		n.mu.Unlock()
 		return
 	}
+	if n.adoptRestored(r.c) {
+		n.noteOfferAccepted(env.Sender)
+		n.mu.Lock()
+		n.stats.OffersCompleted++
+		n.mu.Unlock()
+		// The adopted chain may sit exactly on a summary boundary; the
+		// adopter must join that vote like any appender would, or a
+		// cluster with many freshly adopted nodes can starve the
+		// threshold (seen in the crash-restart-storm drill).
+		n.afterAppend()
+	} else {
+		n.mu.Lock()
+		n.stats.OffersAborted++
+		n.mu.Unlock()
+	}
+}
+
+// startSession opens an inbound offer session and its restore consumer.
+// The feed holds up to one full wire-max chunk so the delivery goroutine
+// never blocks between chunks of a well-paced offer; the staged gauge
+// tracks blocks parked in it.
+func (n *Node) startSession(sender string, offerID uint64) *snapSession {
+	sess := &snapSession{
+		sender:  sender,
+		offerID: offerID,
+		feed:    make(chan snapFeedItem, wire.MaxSnapshotChunkBlocks),
+		res:     make(chan snapResult, 1),
+		dead:    make(chan struct{}),
+	}
+	n.sess = sess
+	go func() {
+		c, err := chain.RestoreStream(n.chainCfg, func(yield func(*block.Block, error) bool) {
+			for {
+				select {
+				case it, ok := <-sess.feed:
+					if !ok {
+						return
+					}
+					n.staged.Add(-1)
+					if !yield(it.b, it.err) || it.err != nil {
+						return
+					}
+				case <-n.quit:
+					yield(nil, errors.New("node: closed during snapshot restore"))
+					return
+				}
+			}
+		})
+		close(sess.dead)
+		if err == nil && c != nil {
+			if verr := c.VerifyIntegrity(); verr != nil {
+				c.Close()
+				c, err = nil, verr
+			}
+		}
+		sess.res <- snapResult{c: c, err: err}
+	}()
+	return sess
+}
+
+// feedSession hands one item to the session's consumer, maintaining the
+// staged-blocks gauge. It returns false when the consumer is gone
+// (restore already failed), so the caller aborts instead of wedging.
+func (n *Node) feedSession(sess *snapSession, it snapFeedItem) bool {
+	staged := n.staged.Add(1)
+	for {
+		peak := n.stagedPeak.Load()
+		if staged <= peak || n.stagedPeak.CompareAndSwap(peak, staged) {
+			break
+		}
+	}
+	select {
+	case sess.feed <- it:
+		return true
+	case <-sess.dead:
+		n.staged.Add(-1)
+		return false
+	}
+}
+
+// abortSession tears down the active inbound offer: the feed is closed,
+// the consumer's outcome is drained (closing any chain it built), and
+// the staged gauge sheds whatever was still parked.
+func (n *Node) abortSession(sess *snapSession) {
+	if n.sess == sess {
+		n.sess = nil
+	}
+	close(sess.feed)
+	r := <-sess.res
+	if r.c != nil {
+		r.c.Close()
+	}
+	// Whatever the consumer never drained is no longer staged.
+	for range sess.feed {
+		n.staged.Add(-1)
+	}
+	n.mu.Lock()
+	n.stats.OffersAborted++
+	n.mu.Unlock()
+}
+
+// adoptRestored swaps the node onto a fully restored, integrity-checked
+// chain when it is strictly ahead of the local head, re-pointing the
+// local store at it — the old suffix below the new marker is physically
+// deleted, exactly as if this node had executed the quorum's
+// truncations itself. Returns whether the adoption happened; a rejected
+// chain is closed here.
+func (n *Node) adoptRestored(restored *chain.Chain) bool {
 	// sealMu excludes the proposal pipeline for the whole adoption:
 	// gossip and vote appends run on this same delivery goroutine, so
 	// with the flusher held off, nothing can append to either chain
@@ -760,7 +1180,7 @@ func (n *Node) handleSnapshotResp(env wire.Envelope) {
 	if n.closed || restored.Head().Number <= n.chain.Head().Number || restored.Marker() < n.chain.Marker() {
 		n.mu.Unlock()
 		restored.Close()
-		return
+		return false
 	}
 	old := n.chain
 	n.chain = restored
@@ -783,6 +1203,7 @@ func (n *Node) handleSnapshotResp(env wire.Envelope) {
 			n.mu.Unlock()
 		}
 	}
+	return true
 }
 
 // StoreErr reports a persistence failure the node could not surface
@@ -812,10 +1233,12 @@ func (n *Node) afterAppend() {
 
 // announceSummary computes the due summary block locally (§IV-B: every
 // node builds Σ itself), records it as our position for the vote round,
-// and broadcasts the vote. Safe to call repeatedly — re-announcement is
-// the repair protocol for lost votes. A vote-withholding Byzantine
-// member records its position (it must know the correct hash to follow
-// the quorum's decision) but stays silent.
+// and emits the vote traffic the node's behaviour plans: an honest node
+// broadcasts its vote, a withholder stays silent, an equivocator tells
+// each half of the quorum a different hash (attack.PlanSummaryVotes).
+// Safe to call repeatedly — re-announcement is the repair protocol for
+// lost votes. With Config.VoteRetryInterval set, a retry timer re-runs
+// this until the vote lands.
 func (n *Node) announceSummary(c *chain.Chain) {
 	local, err := c.BuildSummary()
 	if err != nil {
@@ -829,27 +1252,76 @@ func (n *Node) announceSummary(c *chain.Chain) {
 	st := n.talliesFor(num)
 	st.localHash = local.Hash()
 	st.localSet = true
-	silent := n.byzantine == attack.VoteWithholding
 	n.mu.Unlock()
 
-	if silent {
+	peers := make([]string, 0, n.quorum.Size()-1)
+	for _, m := range n.quorum.Members() {
+		if m != n.name {
+			peers = append(peers, m)
+		}
+	}
+	sends, countSelf := attack.PlanSummaryVotes(n.byzantine, peers, vote)
+	if n.ep != nil {
+		for _, s := range sends {
+			sealed := wire.SealEnvelope(n.key, wire.KindVote, wire.EncodeVote(s.Payload))
+			if s.Peer == "" {
+				n.ep.Broadcast(wire.KindVote, sealed)
+			} else {
+				_ = n.ep.Send(s.Peer, wire.KindVote, sealed)
+			}
+		}
+	}
+	if countSelf {
+		n.recordVote(n.name, vote)
+	} else {
 		// Votes may already have arrived before our position was set;
 		// re-evaluate the tally without announcing anything.
 		n.maybeApplySummary(num)
+	}
+	if c.NextIsSummary() {
+		n.armVoteRetry()
+	}
+}
+
+// armVoteRetry schedules a vote re-announcement if self-driving retries
+// are configured and none is already pending. The timer is one-shot and
+// re-arms from its own firing while the summary stays pending, so a
+// settled vote leaves no timer behind.
+func (n *Node) armVoteRetry() {
+	if n.voteRetry <= 0 || n.ep == nil {
 		return
 	}
-	if n.ep != nil {
-		n.ep.Broadcast(wire.KindVote, wire.SealEnvelope(n.key, wire.KindVote, wire.EncodeVote(vote)))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.retryTimer != nil {
+		return
 	}
-	n.recordVote(n.name, vote)
+	n.retryTimer = time.AfterFunc(n.voteRetry, n.voteRetryFire)
+}
+
+func (n *Node) voteRetryFire() {
+	n.mu.Lock()
+	n.retryTimer = nil
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	c := n.Chain()
+	if !c.NextIsSummary() {
+		return
+	}
+	n.announceSummary(c) // re-arms while still pending
 }
 
 func (n *Node) talliesFor(num uint64) *voteState {
 	st, ok := n.tallies[num]
 	if !ok {
 		st = &voteState{
-			counts: make(map[codec.Hash]int),
-			voted:  make(map[string]bool),
+			counts:   make(map[codec.Hash]int),
+			voted:    make(map[string]codec.Hash),
+			evidence: make(map[string]map[codec.Hash][]byte),
+			relayed:  make(map[string]map[codec.Hash]bool),
 		}
 		n.tallies[num] = st
 	}
@@ -864,6 +1336,9 @@ func (n *Node) handleVote(env wire.Envelope) {
 	if !n.quorum.Contains(env.Sender) {
 		return
 	}
+	if n.observeVote(env, v) {
+		return // flagged equivocator (previously or just now): not counted
+	}
 	n.recordVote(env.Sender, v)
 	// A vote for a round beyond our head means we missed blocks: sync.
 	if v.Number > n.Chain().Head().Number+1 {
@@ -875,6 +1350,110 @@ func (n *Node) handleVote(env wire.Envelope) {
 	// protocol cannot loop. A vote-withholding member never answers.
 	if !v.Repair && n.byzantine != attack.VoteWithholding {
 		n.answerVote(env.Sender, v.Number)
+	}
+}
+
+// handleVoteEvidence ingests a relayed third-party vote: the body is the
+// relayed sender's original signed envelope, verified against the same
+// registry, so a relayer cannot fabricate votes — only repeat them. The
+// inner vote flows through the same observation and tally path as a
+// direct one (without triggering answers or further relays of relays),
+// which is how conflicting votes shown to different halves of the quorum
+// end up side by side at every member.
+func (n *Node) handleVoteEvidence(env wire.Envelope) {
+	inner, err := wire.OpenEnvelope(n.Chain().Registry(), env.Body)
+	if err != nil || inner.Kind != wire.KindVote {
+		return
+	}
+	v, err := wire.DecodeVote(inner.Body)
+	if err != nil || !v.Approve {
+		return
+	}
+	if !n.quorum.Contains(inner.Sender) || inner.Sender == n.name {
+		return
+	}
+	if n.observeVote(inner, v) {
+		return
+	}
+	n.recordVote(inner.Sender, v)
+}
+
+// observeVote is the equivocation screen on every counted vote. It
+// archives the signed envelope as evidence for (round, sender, hash),
+// flags the sender once two conflicting hashes are on file (retracting
+// its counted vote and broadcasting both proofs), and relays any vote
+// that disagrees with our own locally built summary so the rest of the
+// quorum sees what we were told. Returns true when the vote must not be
+// counted (sender already flagged, or flagged by this very vote).
+func (n *Node) observeVote(env wire.Envelope, v wire.VotePayload) bool {
+	n.mu.Lock()
+	if n.equivocators[env.Sender] {
+		n.mu.Unlock()
+		return true
+	}
+	if env.Sender == n.name {
+		n.mu.Unlock()
+		return false
+	}
+	st := n.talliesFor(v.Number)
+	byHash := st.evidence[env.Sender]
+	if byHash == nil {
+		byHash = make(map[codec.Hash][]byte)
+		st.evidence[env.Sender] = byHash
+	}
+	if _, ok := byHash[v.Hash]; !ok && len(byHash) < 2 {
+		byHash[v.Hash] = wire.EncodeEnvelope(env)
+	}
+	var proofs [][]byte
+	if len(byHash) >= 2 {
+		for _, raw := range byHash {
+			proofs = append(proofs, raw)
+		}
+		n.markEquivocatorLocked(env.Sender)
+	}
+	var relay []byte
+	if proofs == nil && st.localSet && v.Hash != st.localHash {
+		seen := st.relayed[env.Sender]
+		if seen == nil {
+			seen = make(map[codec.Hash]bool)
+			st.relayed[env.Sender] = seen
+		}
+		if !seen[v.Hash] {
+			seen[v.Hash] = true
+			relay = wire.EncodeEnvelope(env)
+		}
+	}
+	n.mu.Unlock()
+
+	if n.ep != nil {
+		for _, raw := range proofs {
+			n.ep.Broadcast(wire.KindVoteEvidence, wire.SealEnvelope(n.key, wire.KindVoteEvidence, raw))
+		}
+		if relay != nil {
+			n.ep.Broadcast(wire.KindVoteEvidence, wire.SealEnvelope(n.key, wire.KindVoteEvidence, relay))
+		}
+	}
+	return proofs != nil
+}
+
+// markEquivocatorLocked flags sender and retracts any votes of theirs
+// already counted in open tallies. Caller holds mu. Applied rounds stay
+// applied — the retraction protects undecided rounds; a decided one was
+// reached by honest votes alone or not at all (conflicting minority
+// hashes can never reach the majority threshold).
+func (n *Node) markEquivocatorLocked(sender string) {
+	if n.equivocators[sender] {
+		return
+	}
+	n.equivocators[sender] = true
+	for _, st := range n.tallies {
+		if h, ok := st.voted[sender]; ok {
+			st.counts[h]--
+			if st.counts[h] <= 0 {
+				delete(st.counts, h)
+			}
+			delete(st.voted, sender)
+		}
 	}
 }
 
@@ -905,11 +1484,11 @@ func (n *Node) answerVote(peer string, num uint64) {
 func (n *Node) recordVote(sender string, v wire.VotePayload) {
 	n.mu.Lock()
 	st := n.talliesFor(v.Number)
-	if st.voted[sender] {
+	if _, ok := st.voted[sender]; ok {
 		n.mu.Unlock()
 		return
 	}
-	st.voted[sender] = true
+	st.voted[sender] = v.Hash
 	st.counts[v.Hash]++
 	n.mu.Unlock()
 	n.maybeApplySummary(v.Number)

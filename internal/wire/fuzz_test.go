@@ -47,6 +47,9 @@ func syncRespSeeds() [][]byte {
 
 func snapshotSeeds() [][]byte {
 	valid := EncodeSnapshot(SnapshotPayload{
+		OfferID:        5,
+		Chunk:          0,
+		Last:           true,
 		Marker:         3,
 		Head:           4,
 		Blocks:         [][]byte{[]byte("marker-block"), []byte("head-block")},
@@ -56,7 +59,53 @@ func snapshotSeeds() [][]byte {
 	seeds := fuzzMutations(valid)
 	// Range/count mismatch: declared head does not cover the blocks.
 	seeds = append(seeds, EncodeSnapshot(SnapshotPayload{
-		Marker: 9, Head: 2, Blocks: [][]byte{[]byte("x")},
+		OfferID: 5, Last: true, Marker: 9, Head: 2, Blocks: [][]byte{[]byte("x")},
+	}))
+	// A non-final middle chunk of a multi-chunk stream.
+	seeds = append(seeds, EncodeSnapshot(SnapshotPayload{
+		OfferID: 5, Chunk: 2, Marker: 10, Head: 11,
+		Blocks: [][]byte{[]byte("a"), []byte("b")},
+	}))
+	return seeds
+}
+
+// offerChunkPrev is the fixed predecessor chunk that
+// FuzzSnapshotOfferValidation checks fuzzed chunks against.
+func offerChunkPrev() SnapshotPayload {
+	return SnapshotPayload{
+		OfferID: 77,
+		Chunk:   1,
+		Marker:  4,
+		Head:    6,
+	}
+}
+
+func offerValidationSeeds() [][]byte {
+	prev := offerChunkPrev()
+	// The one successor the fixed prev accepts.
+	follows := EncodeSnapshot(SnapshotPayload{
+		OfferID: prev.OfferID,
+		Chunk:   prev.Chunk + 1,
+		Last:    true,
+		Marker:  prev.Head + 1,
+		Head:    prev.Head + 2,
+		Blocks:  [][]byte{[]byte("c7"), []byte("c8")},
+	})
+	seeds := fuzzMutations(follows)
+	// Cross-offer interleave: right position, wrong stream.
+	seeds = append(seeds, EncodeSnapshot(SnapshotPayload{
+		OfferID: prev.OfferID + 1, Chunk: prev.Chunk + 1, Last: true,
+		Marker: prev.Head + 1, Head: prev.Head + 1, Blocks: [][]byte{[]byte("x")},
+	}))
+	// Skipped chunk index.
+	seeds = append(seeds, EncodeSnapshot(SnapshotPayload{
+		OfferID: prev.OfferID, Chunk: prev.Chunk + 2, Last: true,
+		Marker: prev.Head + 1, Head: prev.Head + 1, Blocks: [][]byte{[]byte("x")},
+	}))
+	// Gap in the block range.
+	seeds = append(seeds, EncodeSnapshot(SnapshotPayload{
+		OfferID: prev.OfferID, Chunk: prev.Chunk + 1, Last: true,
+		Marker: prev.Head + 3, Head: prev.Head + 3, Blocks: [][]byte{[]byte("x")},
 	}))
 	return seeds
 }
@@ -121,9 +170,46 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip rejected: %v", err)
 		}
-		if rt.Marker != p.Marker || rt.Head != p.Head || rt.ManifestSeq != p.ManifestSeq ||
+		if rt.OfferID != p.OfferID || rt.Chunk != p.Chunk || rt.Last != p.Last ||
+			rt.Marker != p.Marker || rt.Head != p.Head || rt.ManifestSeq != p.ManifestSeq ||
 			rt.ManifestMarker != p.ManifestMarker || len(rt.Blocks) != len(p.Blocks) {
 			t.Fatalf("round trip changed payload: %+v != %+v", rt, p)
+		}
+	})
+}
+
+// FuzzSnapshotOfferValidation drives the chunk-continuity gate a node
+// applies to every snapshot chunk after the first: a fuzzed chunk must
+// either be rejected by decode, rejected by SnapshotChunkFollows, or
+// satisfy the full successor contract against the fixed previous chunk.
+func FuzzSnapshotOfferValidation(f *testing.F) {
+	for _, s := range offerValidationSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := DecodeSnapshot(raw)
+		if err != nil {
+			return
+		}
+		prev := offerChunkPrev()
+		if err := SnapshotChunkFollows(prev, p); err != nil {
+			return
+		}
+		// Accepted as a successor: every continuity invariant must hold.
+		if p.OfferID != prev.OfferID {
+			t.Fatalf("accepted chunk from offer %d as successor of offer %d", p.OfferID, prev.OfferID)
+		}
+		if p.Chunk != prev.Chunk+1 {
+			t.Fatalf("accepted chunk index %d after %d", p.Chunk, prev.Chunk)
+		}
+		if p.Marker != prev.Head+1 {
+			t.Fatalf("accepted range starting at %d after head %d", p.Marker, prev.Head)
+		}
+		// And a chunk marked final must never accept a successor.
+		final := prev
+		final.Last = true
+		if err := SnapshotChunkFollows(final, p); err == nil {
+			t.Fatal("accepted a successor to a final chunk")
 		}
 	})
 }
@@ -155,9 +241,10 @@ func TestGenerateFuzzCorpora(t *testing.T) {
 		t.Skip("set SELDEL_GEN_FUZZ_CORPUS=1 to regenerate fuzz corpora")
 	}
 	for name, seeds := range map[string][][]byte{
-		"FuzzDecodeSyncResp":   syncRespSeeds(),
-		"FuzzDecodeSnapshot":   snapshotSeeds(),
-		"FuzzDecodeLookupResp": lookupRespSeeds(),
+		"FuzzDecodeSyncResp":          syncRespSeeds(),
+		"FuzzDecodeSnapshot":          snapshotSeeds(),
+		"FuzzDecodeLookupResp":        lookupRespSeeds(),
+		"FuzzSnapshotOfferValidation": offerValidationSeeds(),
 	} {
 		writeFuzzCorpus(t, name, seeds)
 	}

@@ -28,6 +28,14 @@ const (
 	// an inclusion proof.
 	KindLookupReq  = "lookup_req"
 	KindLookupResp = "lookup_resp"
+	// KindVoteEvidence relays another node's signed vote envelope
+	// verbatim. A node that receives a summary vote whose hash disagrees
+	// with its own forwards the envelope to the rest of the quorum; any
+	// receiver holding two conflicting signed votes from the same sender
+	// for the same round has proof of equivocation and excludes that
+	// sender from its tallies. The body is the raw inner envelope, so
+	// the original signature stays verifiable by everyone.
+	KindVoteEvidence = "vote_evidence"
 )
 
 // ErrBadEnvelope is returned when an envelope fails decoding or
@@ -85,6 +93,19 @@ func OpenEnvelope(reg *identity.Registry, raw []byte) (Envelope, error) {
 		return env, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
 	return env, nil
+}
+
+// EncodeEnvelope re-encodes an opened envelope verbatim, byte-for-byte
+// identical to the SealEnvelope output it was opened from. Used to relay
+// a third party's signed message (vote evidence) without being able to
+// re-sign it.
+func EncodeEnvelope(env Envelope) []byte {
+	e := codec.NewEncoder(128 + len(env.Body))
+	e.String(env.Sender)
+	e.String(env.Kind)
+	e.Bytes(env.Body)
+	e.Bytes(env.Sig)
+	return e.Data()
 }
 
 // VotePayload is the body of a KindVote message.
@@ -303,10 +324,17 @@ type SyncRespPayload struct {
 	ManifestMarker uint64
 }
 
-// MaxSyncBlocks bounds a sync or snapshot response. Senders must not
+// MaxSyncBlocks bounds an incremental sync response. Senders must not
 // build payloads beyond it (the node skips the send); receivers reject
-// larger ones on decode.
+// larger ones on decode. Snapshot offers are not bound by it: they are
+// chunked (MaxSnapshotChunkBlocks), so an arbitrarily long live chain
+// ships as a stream of bounded messages.
 const MaxSyncBlocks = 1 << 16
+
+// MaxSnapshotChunkBlocks bounds one snapshot chunk. Both sides stage at
+// most this many block encodings per message, which is what keeps the
+// snapshot path's memory ceiling independent of the chain length.
+const MaxSnapshotChunkBlocks = 512
 
 // EncodeSyncResp encodes a sync response.
 func EncodeSyncResp(p SyncRespPayload) []byte {
@@ -345,31 +373,53 @@ func DecodeSyncResp(raw []byte) (SyncRespPayload, error) {
 	return p, nil
 }
 
-// SnapshotPayload is the body of a KindSnapshotResp message: the
-// sender's snapshot-anchored status quo. Mirrors a segment store's
-// checkpoint (marker + head + the live suffix), so the receiver can
-// rebuild its chain by streaming Blocks through the restore pipeline —
-// never replaying anything older than the marker.
+// SnapshotPayload is the body of one KindSnapshotResp message: one
+// chunk of the sender's snapshot-anchored status quo. An offer is a
+// stream of chunks sharing an OfferID, each carrying a bounded,
+// contiguous run of live block encodings; the receiver feeds them
+// straight into the restore pipeline, so neither side ever materializes
+// the whole live chain as wire bytes. A single-message offer is the
+// degenerate stream {Chunk: 0, Last: true} — the original unchunked
+// format with an offer header in front.
+//
+// The offer's Genesis marker is chunk 0's Marker: that is the value the
+// receiver checks against its own resurrection floor before accepting
+// anything (a snapshot anchored below the floor would resurrect blocks
+// the receiver recorded as deleted, so it is rejected at chunk 0 and
+// the rest of the stream is dropped unread).
 type SnapshotPayload struct {
-	// Marker is the sender's Genesis marker: the number of Blocks[0].
+	// OfferID identifies the offer this chunk belongs to; the sender
+	// picks a fresh value per offer so a receiver can discard stragglers
+	// of an aborted stream.
+	OfferID uint64
+	// Chunk is this message's 0-based position in the offer. Chunks must
+	// arrive in order (the transport preserves per-pair ordering); a gap
+	// aborts the offer.
+	Chunk uint32
+	// Last marks the offer's final chunk; its Head is the offered head.
+	Last bool
+	// Marker is the number of Blocks[0]. On chunk 0 it is the sender's
+	// Genesis marker; on later chunks it must be the previous chunk's
+	// Head + 1.
 	Marker uint64
-	// Head is the sender's head block number at capture time:
-	// the number of Blocks[len(Blocks)-1].
+	// Head is the number of Blocks[len(Blocks)-1].
 	Head uint64
-	// Blocks are the canonical encodings of every live block, ascending
-	// from Marker to Head.
+	// Blocks are canonical block encodings, ascending Marker..Head. At
+	// most MaxSnapshotChunkBlocks per chunk.
 	Blocks [][]byte
 	// ManifestSeq and ManifestMarker describe the sender's deletion
-	// manifest head (see SyncRespPayload). A snapshot whose Marker sits
-	// below the receiver's own resurrection floor is rejected: adopting
-	// it would resurrect blocks the receiver recorded as deleted.
+	// manifest head (see SyncRespPayload). Repeated on every chunk so
+	// each message is self-describing for audit.
 	ManifestSeq    uint64
 	ManifestMarker uint64
 }
 
-// EncodeSnapshot encodes a snapshot-adoption payload.
+// EncodeSnapshot encodes one snapshot-offer chunk.
 func EncodeSnapshot(p SnapshotPayload) []byte {
 	e := codec.NewEncoder(256)
+	e.Uint64(p.OfferID)
+	e.Uint32(p.Chunk)
+	e.Bool(p.Last)
 	e.Uint64(p.Marker)
 	e.Uint64(p.Head)
 	e.Uint32(uint32(len(p.Blocks)))
@@ -381,20 +431,28 @@ func EncodeSnapshot(p SnapshotPayload) []byte {
 	return e.Data()
 }
 
-// DecodeSnapshot decodes a snapshot-adoption payload, checking that the
-// declared marker→head range matches the block count (each block's
-// number is authoritatively re-checked by the restore pipeline).
+// DecodeSnapshot decodes one snapshot-offer chunk, checking the chunk's
+// own invariants: a bounded, non-empty block run whose declared
+// marker→head range matches the count (each block's number and linkage
+// is authoritatively re-checked by the restore pipeline, and
+// cross-chunk contiguity by the receiver's offer session).
 func DecodeSnapshot(raw []byte) (SnapshotPayload, error) {
 	d := codec.NewDecoder(raw)
 	var p SnapshotPayload
+	p.OfferID = d.Uint64()
+	p.Chunk = d.Uint32()
+	p.Last = d.Bool()
 	p.Marker = d.Uint64()
 	p.Head = d.Uint64()
 	n := d.Uint32()
 	if err := d.Err(); err != nil {
 		return p, fmt.Errorf("wire: decode snapshot: %w", err)
 	}
-	if n > MaxSyncBlocks {
-		return p, fmt.Errorf("wire: snapshot too large: %d blocks", n)
+	if n == 0 {
+		return p, errors.New("wire: snapshot chunk carries no blocks")
+	}
+	if n > MaxSnapshotChunkBlocks {
+		return p, fmt.Errorf("wire: snapshot chunk too large: %d blocks", n)
 	}
 	// Views, as in DecodeSyncResp: the restore pipeline decodes each
 	// block immediately and never retains the raw bytes.
@@ -407,7 +465,28 @@ func DecodeSnapshot(raw []byte) (SnapshotPayload, error) {
 		return p, fmt.Errorf("wire: decode snapshot: %w", err)
 	}
 	if p.Head < p.Marker || uint64(len(p.Blocks)) != p.Head-p.Marker+1 {
-		return p, fmt.Errorf("wire: snapshot range %d..%d does not match %d blocks", p.Marker, p.Head, len(p.Blocks))
+		return p, fmt.Errorf("wire: snapshot chunk range %d..%d does not match %d blocks", p.Marker, p.Head, len(p.Blocks))
 	}
 	return p, nil
+}
+
+// SnapshotChunkFollows validates that next legally extends an offer
+// whose most recently accepted chunk is prev: same offer, consecutive
+// chunk index, contiguous block range, and prev not already final. The
+// receiver's offer session applies this to every non-opening chunk; a
+// violation aborts the whole offer (never a partial adoption).
+func SnapshotChunkFollows(prev, next SnapshotPayload) error {
+	if prev.Last {
+		return errors.New("wire: snapshot chunk after final chunk")
+	}
+	if next.OfferID != prev.OfferID {
+		return fmt.Errorf("wire: snapshot chunk from offer %d interleaved into offer %d", next.OfferID, prev.OfferID)
+	}
+	if next.Chunk != prev.Chunk+1 {
+		return fmt.Errorf("wire: snapshot chunk %d out of order (want %d)", next.Chunk, prev.Chunk+1)
+	}
+	if next.Marker != prev.Head+1 {
+		return fmt.Errorf("wire: snapshot chunk starts at %d, offer continues at %d", next.Marker, prev.Head+1)
+	}
+	return nil
 }
